@@ -1,0 +1,62 @@
+//! E2 / Table 1 — the bitwise operators the generated SQL relies on,
+//! benchmarked end-to-end through the engine (parse → plan → execute) and
+//! at the raw value layer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qymera_sqldb::{Database, Value};
+
+fn bench_bitwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_bitwise");
+    group.sample_size(30);
+
+    // Raw value-layer operations (the per-row cost inside a query).
+    group.bench_function("value_and_or_not", |b| {
+        let x = Value::Int(0b1011_0110);
+        let m = Value::Int(0b0000_0110);
+        b.iter(|| {
+            let cleared = x.bit_and(&m.bit_not().unwrap()).unwrap();
+            std::hint::black_box(cleared.bit_or(&Value::Int(0b10)).unwrap())
+        })
+    });
+
+    group.bench_function("value_shifts", |b| {
+        let x = Value::Int(0b1011_0110);
+        b.iter(|| {
+            let l = x.shl(&Value::Int(3)).unwrap();
+            std::hint::black_box(l.shr(&Value::Int(3)).unwrap())
+        })
+    });
+
+    // The Fig. 2 idiom through full SQL over a 4096-row state table.
+    group.bench_function("fig2_mask_query_4096rows", |b| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..4096)
+            .map(|s| vec![Value::Int(s), Value::Float(1.0), Value::Float(0.0)])
+            .collect();
+        db.insert_rows("T", rows).unwrap();
+        b.iter_batched(
+            || (),
+            |_| {
+                let rs = db
+                    .execute("SELECT ((T.s & ~6) | 4) AS s2, ((T.s >> 1) & 3) AS l FROM T")
+                    .unwrap();
+                std::hint::black_box(rs.rows().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // HUGEINT (arbitrary-width) bitwise path used for > 63 qubits.
+    group.bench_function("hugeint_xor_1024bit", |b| {
+        use qymera_sqldb::BigBits;
+        let x = Value::Big(BigBits::ones(0, 1024, 1024));
+        let y = Value::Big(BigBits::ones(512, 256, 1024));
+        b.iter(|| std::hint::black_box(x.bit_xor(&y).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitwise);
+criterion_main!(benches);

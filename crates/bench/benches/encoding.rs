@@ -1,0 +1,85 @@
+//! Encoding ablation (Discussion §2.2) — integer-indexed states with bitwise
+//! operators vs TEXT-bitstring states with SUBSTR/CONCAT, per gate
+//! application over the same 4096-row state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qymera_sqldb::{Database, Value};
+
+fn setup_int(n_rows: i64) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE T (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..n_rows)
+        .map(|s| vec![Value::Int(s), Value::Float(1.0), Value::Float(0.0)])
+        .collect();
+    db.insert_rows("T", rows).unwrap();
+    db.execute("CREATE TABLE CX (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+    db.execute("INSERT INTO CX VALUES (0,0,1.0,0.0),(1,3,1.0,0.0),(2,2,1.0,0.0),(3,1,1.0,0.0)")
+        .unwrap();
+    db
+}
+
+fn setup_str(bits: usize, n_rows: u64) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE T (s TEXT, r DOUBLE, i DOUBLE)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..n_rows)
+        .map(|s| {
+            let text: String =
+                (0..bits).rev().map(|q| if (s >> q) & 1 == 1 { '1' } else { '0' }).collect();
+            vec![Value::Str(text), Value::Float(1.0), Value::Float(0.0)]
+        })
+        .collect();
+    db.insert_rows("T", rows).unwrap();
+    db.execute("CREATE TABLE CX (in_c TEXT, out_c TEXT, r DOUBLE, i DOUBLE)").unwrap();
+    db.execute(
+        "INSERT INTO CX VALUES ('00','00',1.0,0.0),('01','11',1.0,0.0),\
+         ('10','10',1.0,0.0),('11','01',1.0,0.0)",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_ablation");
+    group.sample_size(10);
+    let bits = 12usize;
+    let rows = 1u64 << bits;
+
+    let mut int_db = setup_int(rows as i64);
+    group.bench_function("integer_bitwise_gate", |b| {
+        b.iter(|| {
+            let rs = int_db
+                .execute(
+                    "SELECT ((T.s & ~3) | CX.out_s) AS s, \
+                     SUM((T.r * CX.r) - (T.i * CX.i)) AS r, \
+                     SUM((T.r * CX.i) + (T.i * CX.r)) AS i \
+                     FROM T JOIN CX ON CX.in_s = (T.s & 3) \
+                     GROUP BY ((T.s & ~3) | CX.out_s)",
+                )
+                .unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    let mut str_db = setup_str(bits, rows);
+    let pos = bits - 1; // the two lowest qubits are the rightmost characters
+    group.bench_function("string_substr_gate", |b| {
+        b.iter(|| {
+            let rs = str_db
+                .execute(&format!(
+                    "SELECT CONCAT(SUBSTR(T.s, 1, {pre}), CX.out_c) AS s, \
+                     SUM((T.r * CX.r) - (T.i * CX.i)) AS r, \
+                     SUM((T.r * CX.i) + (T.i * CX.r)) AS i \
+                     FROM T JOIN CX ON CX.in_c = SUBSTR(T.s, {pos}, 2) \
+                     GROUP BY CONCAT(SUBSTR(T.s, 1, {pre}), CX.out_c)",
+                    pre = pos - 1
+                ))
+                .unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E5 (Scenario 2, dense series) — equal superposition of all basis states
+//! across every backend. This is the dense complement to `ghz_scaling`:
+//! every method now touches all 2^n amplitudes (the DD stays compact because
+//! the uniform state shares one node per level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qymera_core::{BackendKind, Engine};
+use qymera_circuit::library;
+
+fn bench_eqsup(c: &mut Criterion) {
+    let engine = Engine::with_defaults();
+    let mut group = c.benchmark_group("eqsup_scaling");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let circuit = library::equal_superposition(n);
+        for backend in BackendKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), n),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let r = engine.run(backend, circuit);
+                        assert!(r.ok(), "{:?}", r.error);
+                        std::hint::black_box(r.support)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eqsup);
+criterion_main!(benches);

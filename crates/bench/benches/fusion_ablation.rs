@@ -1,0 +1,26 @@
+//! E7 — §3.2's query optimization: fusing consecutive gates shrinks the CTE
+//! chain. Benchmarked on QFT (heavily fusible: its CP ladders share qubits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qymera_circuit::library;
+use qymera_translate::{SqlSimConfig, SqlSimulator};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_ablation");
+    group.sample_size(10);
+    for n in [6usize, 8] {
+        let circuit = library::qft(n);
+        for (label, fusion) in [("off", None), ("fuse2", Some(2)), ("fuse3", Some(3))] {
+            let sim = SqlSimulator::new(SqlSimConfig { fusion, ..Default::default() });
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &circuit,
+                |b, ci| b.iter(|| std::hint::black_box(sim.run(ci).unwrap().support())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E5 (Scenario 2, sparse series) — GHZ state preparation across every
+//! backend as the register grows. The paper's benchmark panel plots exactly
+//! this series; sparse-friendly methods stay flat while the dense state
+//! vector grows as 2^n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qymera_core::{BackendKind, Engine};
+use qymera_circuit::library;
+
+fn bench_ghz(c: &mut Criterion) {
+    let engine = Engine::with_defaults();
+    let mut group = c.benchmark_group("ghz_scaling");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let circuit = library::ghz(n);
+        for backend in BackendKind::ALL {
+            // The dense/MPS/DD reconstructions get expensive; skip what a
+            // backend cannot do at this size.
+            if backend == BackendKind::StateVector && n > 14 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), n),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let r = engine.run(backend, circuit);
+                        assert!(r.ok(), "{:?}", r.error);
+                        std::hint::black_box(r.support)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghz);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — §3.3's out-of-core simulation: the same dense workload under an
+//! in-memory budget vs a budget that forces aggregation spilling. The
+//! spilling run must still succeed; this measures its cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qymera_circuit::library;
+use qymera_translate::{SqlSimConfig, SqlSimulator};
+
+fn bench_out_of_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("out_of_core");
+    group.sample_size(10);
+    let n = 10usize;
+    let circuit = library::equal_superposition(n);
+    for (label, budget) in [
+        ("in_memory_256MiB", 256usize << 20),
+        ("spilling_64KiB", 64usize << 10),
+    ] {
+        let sim = SqlSimulator::new(SqlSimConfig {
+            memory_limit: Some(budget),
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new(label, n), &circuit, |b, ci| {
+            b.iter(|| {
+                let r = sim.run(ci).unwrap();
+                assert_eq!(r.support(), 1 << n);
+                std::hint::black_box(r.support())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_out_of_core);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E3a — sparse circuits through the SQL backend far beyond any in-memory
+//! register size (GHZ up to thousands of qubits; basis indices are HUGEINT
+//! beyond 63). State rows stay O(1); cost is per-gate query overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qymera_circuit::library;
+use qymera_translate::{ExecMode, SqlSimConfig, SqlSimulator};
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_scaling_sql");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let circuit = library::ghz(n);
+        let sim = SqlSimulator::new(SqlSimConfig {
+            mode: ExecMode::StepTables,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("ghz", n), &circuit, |b, ci| {
+            b.iter(|| {
+                let r = sim.run(ci).unwrap();
+                assert_eq!(r.support(), 2);
+                std::hint::black_box(r.support())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

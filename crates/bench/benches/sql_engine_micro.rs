@@ -1,0 +1,62 @@
+//! Microbenchmarks of the relational substrate itself: tokenize/parse/plan
+//! of the Fig. 2c query, hash-join probe throughput, and grouped-aggregation
+//! throughput — the three costs every simulated gate pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qymera_sqldb::{parser, Database, Value};
+
+const FIG2C: &str = "WITH T1 AS (SELECT ((T0.s & ~1) | H.out_s) AS s, \
+SUM((T0.r * H.r) - (T0.i * H.i)) AS r, SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
+FROM T0 JOIN H ON H.in_s = (T0.s & 1) GROUP BY ((T0.s & ~1) | H.out_s)) \
+SELECT s, r, i FROM T1 ORDER BY s";
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_engine_micro");
+    group.sample_size(30);
+
+    group.bench_function("parse_fig2c", |b| {
+        b.iter(|| std::hint::black_box(parser::parse_statement(FIG2C).unwrap()))
+    });
+
+    // One gate application over a 16k-row state (join + group by).
+    let mut db = Database::new();
+    db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..16_384)
+        .map(|s| vec![Value::Int(s), Value::Float(0.0078125), Value::Float(0.0)])
+        .collect();
+    db.insert_rows("T0", rows).unwrap();
+    db.execute("CREATE TABLE H (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    db.execute(&format!(
+        "INSERT INTO H VALUES (0,0,{h},0.0),(0,1,{h},0.0),(1,0,{h},0.0),(1,1,{},0.0)",
+        -h
+    ))
+    .unwrap();
+
+    group.bench_function("gate_join_groupby_16k_rows", |b| {
+        b.iter(|| {
+            let rs = db
+                .execute(
+                    "SELECT ((T0.s & ~1) | H.out_s) AS s, \
+                     SUM((T0.r * H.r) - (T0.i * H.i)) AS r, \
+                     SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
+                     FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
+                     GROUP BY ((T0.s & ~1) | H.out_s)",
+                )
+                .unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    group.bench_function("sort_16k_rows", |b| {
+        b.iter(|| {
+            let rs = db.execute("SELECT s FROM T0 ORDER BY s DESC LIMIT 5").unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

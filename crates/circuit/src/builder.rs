@@ -1,0 +1,224 @@
+//! Fluent, Qiskit-style circuit builder — the programmatic counterpart of the
+//! paper's graphical circuit builder (§3.1).
+//!
+//! ```
+//! use qymera_circuit::builder::CircuitBuilder;
+//!
+//! let ghz = CircuitBuilder::new(3).h(0).cx(0, 1).cx(1, 2).build();
+//! assert_eq!(ghz.gate_count(), 3);
+//! ```
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::{Gate, GateKind};
+
+/// Builder with chainable gate methods. Qubit indices are validated at every
+/// call; misuse panics with a descriptive message (matching the ergonomics of
+/// interactive circuit construction the paper's UI provides).
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    circuit: QuantumCircuit,
+}
+
+macro_rules! gate_method {
+    ($(#[$doc:meta])* $name:ident, $kind:ident, q) => {
+        $(#[$doc])*
+        pub fn $name(mut self, q: usize) -> Self {
+            self.circuit
+                .push(Gate::new(GateKind::$kind, vec![q], vec![]))
+                .unwrap_or_else(|e| panic!("{e}"));
+            self
+        }
+    };
+    ($(#[$doc:meta])* $name:ident, $kind:ident, theta_q) => {
+        $(#[$doc])*
+        pub fn $name(mut self, theta: f64, q: usize) -> Self {
+            self.circuit
+                .push(Gate::new(GateKind::$kind, vec![q], vec![theta]))
+                .unwrap_or_else(|e| panic!("{e}"));
+            self
+        }
+    };
+    ($(#[$doc:meta])* $name:ident, $kind:ident, c_t) => {
+        $(#[$doc])*
+        pub fn $name(mut self, control: usize, target: usize) -> Self {
+            self.circuit
+                .push(Gate::new(GateKind::$kind, vec![control, target], vec![]))
+                .unwrap_or_else(|e| panic!("{e}"));
+            self
+        }
+    };
+    ($(#[$doc:meta])* $name:ident, $kind:ident, theta_c_t) => {
+        $(#[$doc])*
+        pub fn $name(mut self, theta: f64, control: usize, target: usize) -> Self {
+            self.circuit
+                .push(Gate::new(GateKind::$kind, vec![control, target], vec![theta]))
+                .unwrap_or_else(|e| panic!("{e}"));
+            self
+        }
+    };
+}
+
+impl CircuitBuilder {
+    pub fn new(num_qubits: usize) -> Self {
+        CircuitBuilder { circuit: QuantumCircuit::new(num_qubits) }
+    }
+
+    pub fn named(num_qubits: usize, name: &str) -> Self {
+        CircuitBuilder { circuit: QuantumCircuit::with_name(num_qubits, name) }
+    }
+
+    gate_method!(/** Pauli-X. */ x, X, q);
+    gate_method!(/** Pauli-Y. */ y, Y, q);
+    gate_method!(/** Pauli-Z. */ z, Z, q);
+    gate_method!(/** Hadamard. */ h, H, q);
+    gate_method!(/** S = √Z. */ s, S, q);
+    gate_method!(/** S†. */ sdg, Sdg, q);
+    gate_method!(/** T = ⁴√Z. */ t, T, q);
+    gate_method!(/** T†. */ tdg, Tdg, q);
+    gate_method!(/** √X. */ sx, SqrtX, q);
+    gate_method!(/** Identity (explicit no-op). */ id, I, q);
+    gate_method!(/** X-rotation Rx(θ). */ rx, Rx, theta_q);
+    gate_method!(/** Y-rotation Ry(θ). */ ry, Ry, theta_q);
+    gate_method!(/** Z-rotation Rz(θ). */ rz, Rz, theta_q);
+    gate_method!(/** Phase gate P(λ). */ p, Phase, theta_q);
+    gate_method!(/** CNOT. */ cx, Cx, c_t);
+    gate_method!(/** Controlled-Y. */ cy, Cy, c_t);
+    gate_method!(/** Controlled-Z. */ cz, Cz, c_t);
+    gate_method!(/** Controlled-H. */ ch, Ch, c_t);
+    gate_method!(/** Controlled phase CP(λ). */ cp, CPhase, theta_c_t);
+    gate_method!(/** Controlled Rx. */ crx, CRx, theta_c_t);
+    gate_method!(/** Controlled Ry. */ cry, CRy, theta_c_t);
+    gate_method!(/** Controlled Rz. */ crz, CRz, theta_c_t);
+
+    /// General single-qubit unitary U(θ, φ, λ).
+    pub fn u3(mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> Self {
+        self.circuit
+            .push(Gate::new(GateKind::U3, vec![q], vec![theta, phi, lambda]))
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// SWAP two qubits.
+    pub fn swap(mut self, a: usize, b: usize) -> Self {
+        self.circuit
+            .push(Gate::new(GateKind::Swap, vec![a, b], vec![]))
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Toffoli (CCX).
+    pub fn ccx(mut self, c1: usize, c2: usize, target: usize) -> Self {
+        self.circuit
+            .push(Gate::new(GateKind::Ccx, vec![c1, c2, target], vec![]))
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Fredkin (CSWAP).
+    pub fn cswap(mut self, control: usize, a: usize, b: usize) -> Self {
+        self.circuit
+            .push(Gate::new(GateKind::CSwap, vec![control, a, b], vec![]))
+            .unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Hadamard on every qubit (the paper's "equal superposition" prologue).
+    pub fn h_all(mut self) -> Self {
+        for q in 0..self.circuit.num_qubits {
+            self.circuit.push_unchecked(Gate::new(GateKind::H, vec![q], vec![]));
+        }
+        self
+    }
+
+    /// Append an arbitrary validated gate.
+    pub fn gate(mut self, gate: Gate) -> Self {
+        self.circuit.push(gate).unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Append another circuit's gates.
+    pub fn extend(mut self, other: &QuantumCircuit) -> Self {
+        self.circuit.append(other).unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Apply `f` for each element of an iterator — loops inside a chain.
+    pub fn for_each<T>(
+        self,
+        items: impl IntoIterator<Item = T>,
+        mut f: impl FnMut(Self, T) -> Self,
+    ) -> Self {
+        let mut b = self;
+        for item in items {
+            b = f(b, item);
+        }
+        b
+    }
+
+    pub fn name(mut self, name: &str) -> Self {
+        self.circuit.name = name.to_string();
+        self
+    }
+
+    pub fn build(self) -> QuantumCircuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_chain() {
+        let c = CircuitBuilder::named(3, "ghz").h(0).cx(0, 1).cx(1, 2).build();
+        assert_eq!(c.gate_count(), 3);
+        assert_eq!(c.name, "ghz");
+        assert_eq!(c.gates()[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_single_qubit_methods() {
+        let c = CircuitBuilder::new(1)
+            .x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0).id(0)
+            .rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0)
+            .u3(0.1, 0.2, 0.3, 0)
+            .build();
+        assert_eq!(c.gate_count(), 15);
+    }
+
+    #[test]
+    fn multi_qubit_methods() {
+        let c = CircuitBuilder::new(3)
+            .cx(0, 1).cy(1, 2).cz(0, 2).ch(2, 0)
+            .cp(0.5, 0, 1).crx(0.1, 0, 1).cry(0.2, 1, 2).crz(0.3, 2, 0)
+            .swap(0, 2).ccx(0, 1, 2).cswap(0, 1, 2)
+            .build();
+        assert_eq!(c.gate_count(), 11);
+        assert_eq!(c.multi_qubit_gate_count(), 11);
+    }
+
+    #[test]
+    fn h_all_and_for_each() {
+        let c = CircuitBuilder::new(4).h_all().build();
+        assert_eq!(c.gate_count(), 4);
+        let chain = CircuitBuilder::new(4)
+            .h(0)
+            .for_each(0..3, |b, q| b.cx(q, q + 1))
+            .build();
+        assert_eq!(chain.gate_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "uses qubit 7")]
+    fn out_of_range_panics_with_message() {
+        let _ = CircuitBuilder::new(2).h(7);
+    }
+
+    #[test]
+    fn extend_composes() {
+        let a = CircuitBuilder::new(2).h(0).build();
+        let c = CircuitBuilder::new(2).extend(&a).cx(0, 1).build();
+        assert_eq!(c.gate_count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! JSON circuit file format — the paper's "File Upload" input path (§3.1:
+//! *"Quantum researchers can upload circuits in standardized formats, such
+//! as JSON"*).
+//!
+//! The format is deliberately explicit and version-tagged:
+//!
+//! ```json
+//! {
+//!   "format": "qymera-circuit-v1",
+//!   "name": "ghz_3",
+//!   "num_qubits": 3,
+//!   "gates": [
+//!     {"gate": "h",  "qubits": [0]},
+//!     {"gate": "cx", "qubits": [0, 1]},
+//!     {"gate": "rz", "qubits": [2], "params": [0.5]}
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::{Gate, GateKind};
+
+pub const FORMAT_TAG: &str = "qymera-circuit-v1";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CircuitFile {
+    format: String,
+    #[serde(default)]
+    name: String,
+    num_qubits: usize,
+    gates: Vec<GateEntry>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GateEntry {
+    gate: String,
+    qubits: Vec<usize>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    params: Vec<f64>,
+}
+
+/// Serialize a circuit to the JSON file format (pretty-printed).
+pub fn to_json(circuit: &QuantumCircuit) -> String {
+    let file = CircuitFile {
+        format: FORMAT_TAG.to_string(),
+        name: circuit.name.clone(),
+        num_qubits: circuit.num_qubits,
+        gates: circuit
+            .gates()
+            .iter()
+            .map(|g| GateEntry {
+                gate: g.kind.name().to_string(),
+                qubits: g.qubits.clone(),
+                params: g.params.clone(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&file).expect("circuit serialization cannot fail")
+}
+
+/// Parse a circuit from the JSON file format, with full validation.
+pub fn from_json(text: &str) -> Result<QuantumCircuit, String> {
+    let file: CircuitFile =
+        serde_json::from_str(text).map_err(|e| format!("invalid circuit JSON: {e}"))?;
+    if file.format != FORMAT_TAG {
+        return Err(format!(
+            "unsupported circuit format `{}` (expected `{FORMAT_TAG}`)",
+            file.format
+        ));
+    }
+    let mut c = QuantumCircuit::with_name(file.num_qubits, &file.name);
+    for (i, entry) in file.gates.iter().enumerate() {
+        let kind = GateKind::from_name(&entry.gate)
+            .ok_or_else(|| format!("gate #{i}: unknown gate `{}`", entry.gate))?;
+        c.push(Gate::new(kind, entry.qubits.clone(), entry.params.clone()))
+            .map_err(|e| format!("gate #{i}: {e}"))?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn round_trip_every_library_circuit() {
+        let circuits = vec![
+            library::bell(),
+            library::ghz(4),
+            library::qft(4),
+            library::w_state(3),
+            library::parity_check(&[true, false]),
+            library::random_circuit(4, 30, 9),
+        ];
+        for c in circuits {
+            let text = to_json(&c);
+            let back = from_json(&text).unwrap();
+            // Structure must match exactly; parameters within 1 ULP (the JSON
+            // float parser in this environment is not exactly round-tripping).
+            assert_eq!(back.num_qubits, c.num_qubits, "{}", c.name);
+            assert_eq!(back.gate_count(), c.gate_count(), "{}", c.name);
+            for (a, b) in c.gates().iter().zip(back.gates()) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.qubits, b.qubits);
+                for (x, y) in a.params.iter().zip(&b.params) {
+                    assert!((x - y).abs() <= f64::EPSILON * x.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_format_tag() {
+        let text = r#"{"format":"something-else","num_qubits":1,"gates":[]}"#;
+        assert!(from_json(text).unwrap_err().contains("unsupported"));
+    }
+
+    #[test]
+    fn rejects_unknown_gate_and_bad_arity() {
+        let text = r#"{"format":"qymera-circuit-v1","num_qubits":2,
+                       "gates":[{"gate":"frobnicate","qubits":[0]}]}"#;
+        assert!(from_json(text).unwrap_err().contains("unknown gate"));
+        let text = r#"{"format":"qymera-circuit-v1","num_qubits":2,
+                       "gates":[{"gate":"cx","qubits":[0]}]}"#;
+        assert!(from_json(text).unwrap_err().contains("expects 2 qubits"));
+        let text = r#"{"format":"qymera-circuit-v1","num_qubits":1,
+                       "gates":[{"gate":"h","qubits":[3]}]}"#;
+        assert!(from_json(text).unwrap_err().contains("uses qubit 3"));
+    }
+
+    #[test]
+    fn accepts_gate_aliases() {
+        let text = r#"{"format":"qymera-circuit-v1","num_qubits":2,
+                       "gates":[{"gate":"CNOT","qubits":[0,1]}]}"#;
+        let c = from_json(text).unwrap();
+        assert_eq!(c.gates()[0].kind, GateKind::Cx);
+    }
+
+    #[test]
+    fn params_preserved_exactly() {
+        let c = crate::builder::CircuitBuilder::new(1).rz(0.123456789012345, 0).build();
+        let back = from_json(&to_json(&c)).unwrap();
+        assert_eq!(back.gates()[0].params[0], 0.123456789012345);
+    }
+}

@@ -1,0 +1,28 @@
+//! # qymera-circuit
+//!
+//! Quantum circuit intermediate representation for the Qymera reproduction:
+//! complex arithmetic, gate unitaries, the circuit object, a fluent builder
+//! (the programmatic counterpart of the paper's graphical circuit builder),
+//! parameterized circuit families, file formats (JSON, QASM subset), and a
+//! library of the workloads used throughout the paper's demonstration
+//! scenarios.
+//!
+//! Qubit convention: **qubit 0 is the least-significant bit** of the basis
+//! state integer, matching the paper's Fig. 2 mask arithmetic.
+
+pub mod builder;
+pub mod circuit;
+pub mod complex;
+pub mod gate;
+pub mod json;
+pub mod library;
+pub mod matrix;
+pub mod param;
+pub mod qasm;
+
+pub use builder::CircuitBuilder;
+pub use circuit::QuantumCircuit;
+pub use complex::{c64, Complex64};
+pub use gate::{gate_table_entries, Gate, GateKind};
+pub use matrix::CMatrix;
+pub use param::{ParamCircuit, ParamExpr};

@@ -1,0 +1,533 @@
+//! Circuit library: every workload used in the paper's demonstration
+//! scenarios and benchmark claims.
+//!
+//! * GHZ state preparation (running example, Fig. 2; Scenarios 2 & 3);
+//! * equal superposition (Scenario 2);
+//! * parity check (Scenario 1);
+//! * sparse circuit families (intro experiment E3a);
+//! * dense/random circuit families (intro experiment E3b);
+//! * QFT, Grover, W-state, hardware-efficient ansatz (general coverage and
+//!   fusion/ablation benchmarks).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::QuantumCircuit;
+use crate::gate::{Gate, GateKind};
+use crate::param::{ParamCircuit, ParamExpr};
+
+/// Bell pair |Φ⁺⟩ = (|00⟩ + |11⟩)/√2.
+pub fn bell() -> QuantumCircuit {
+    CircuitBuilder::named(2, "bell").h(0).cx(0, 1).build()
+}
+
+/// GHZ state on `n ≥ 1` qubits: H(0) followed by a CX chain — exactly the
+/// running example of Fig. 2 for `n = 3`.
+pub fn ghz(n: usize) -> QuantumCircuit {
+    assert!(n >= 1, "GHZ needs at least one qubit");
+    CircuitBuilder::named(n, &format!("ghz_{n}"))
+        .h(0)
+        .for_each(0..n.saturating_sub(1), |b, q| b.cx(q, q + 1))
+        .build()
+}
+
+/// Equal superposition of all 2ⁿ basis states: H on every qubit
+/// (Scenario 2's dense test case).
+pub fn equal_superposition(n: usize) -> QuantumCircuit {
+    assert!(n >= 1);
+    CircuitBuilder::named(n, &format!("eqsup_{n}")).h_all().build()
+}
+
+/// W state on `n ≥ 2` qubits: (|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n, built with
+/// the standard CRY/CX cascade.
+pub fn w_state(n: usize) -> QuantumCircuit {
+    assert!(n >= 2, "W state needs at least two qubits");
+    let mut b = CircuitBuilder::named(n, &format!("w_{n}")).x(0);
+    for i in 0..n - 1 {
+        let theta = 2.0 * (1.0 / ((n - i) as f64)).sqrt().acos();
+        b = b.cry(theta, i, i + 1).cx(i + 1, i);
+    }
+    b.build()
+}
+
+/// The parity-check algorithm of Demonstration Scenario 1: `input.len()` data
+/// qubits prepared in the given classical bitstring, plus one ancilla
+/// (highest index) that accumulates the parity through a CX fan-in.
+/// Measuring the ancilla yields 1 iff the number of ones is odd.
+pub fn parity_check(input: &[bool]) -> QuantumCircuit {
+    let n = input.len();
+    assert!(n >= 1, "parity check needs at least one data qubit");
+    let mut b = CircuitBuilder::named(n + 1, &format!("parity_{n}"));
+    for (q, &bit) in input.iter().enumerate() {
+        if bit {
+            b = b.x(q);
+        }
+    }
+    for q in 0..n {
+        b = b.cx(q, n);
+    }
+    b.build()
+}
+
+/// Superposed parity check: Hadamards on the data register before the CX
+/// fan-in, exercising parity over all inputs simultaneously (used to show
+/// the same algorithm on a dense state).
+pub fn parity_check_superposed(n: usize) -> QuantumCircuit {
+    assert!(n >= 1);
+    let mut b = CircuitBuilder::named(n + 1, &format!("parity_sup_{n}"));
+    for q in 0..n {
+        b = b.h(q);
+    }
+    for q in 0..n {
+        b = b.cx(q, n);
+    }
+    b.build()
+}
+
+/// Quantum Fourier transform on `n` qubits (with the final qubit-reversal
+/// swaps, so the unitary is the textbook QFT).
+pub fn qft(n: usize) -> QuantumCircuit {
+    assert!(n >= 1);
+    let mut b = CircuitBuilder::named(n, &format!("qft_{n}"));
+    for target in (0..n).rev() {
+        b = b.h(target);
+        for k in (0..target).rev() {
+            let angle = std::f64::consts::PI / f64::from(1u32 << (target - k));
+            b = b.cp(angle, k, target);
+        }
+    }
+    for q in 0..n / 2 {
+        b = b.swap(q, n - 1 - q);
+    }
+    b.build()
+}
+
+/// Bernstein–Vazirani: recovers a hidden bitstring `secret` with one oracle
+/// call. `n` data qubits plus one ancilla (index `n`) prepared in |−⟩; the
+/// oracle is a CX fan-in from every secret bit. Measuring the data register
+/// yields `secret` with probability 1.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> QuantumCircuit {
+    assert!((1..=63).contains(&n));
+    assert!(secret < (1u64 << n), "secret out of range");
+    let mut b = CircuitBuilder::named(n + 1, &format!("bv_{n}_{secret}"));
+    // ancilla in |−⟩
+    b = b.x(n).h(n);
+    for q in 0..n {
+        b = b.h(q);
+    }
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            b = b.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        b = b.h(q);
+    }
+    b.build()
+}
+
+/// Deutsch–Jozsa for the two canonical oracle families: `balanced = None`
+/// gives the constant-zero oracle (data register measures |0…0⟩ with
+/// probability 1); `balanced = Some(mask)` gives the balanced inner-product
+/// oracle f(x) = x·mask mod 2 (any nonzero mask), for which the data
+/// register never measures |0…0⟩.
+pub fn deutsch_jozsa(n: usize, balanced: Option<u64>) -> QuantumCircuit {
+    assert!((1..=63).contains(&n));
+    let tag = match balanced {
+        Some(m) => format!("bal{m}"),
+        None => "const".to_string(),
+    };
+    let mut b = CircuitBuilder::named(n + 1, &format!("dj_{n}_{tag}"));
+    b = b.x(n).h(n);
+    for q in 0..n {
+        b = b.h(q);
+    }
+    if let Some(mask) = balanced {
+        assert!(mask != 0 && mask < (1u64 << n), "balanced mask must be nonzero");
+        for q in 0..n {
+            if (mask >> q) & 1 == 1 {
+                b = b.cx(q, n);
+            }
+        }
+    }
+    for q in 0..n {
+        b = b.h(q);
+    }
+    b.build()
+}
+
+/// Quantum phase estimation of the phase gate `P(2π·k/2^bits)` acting on a
+/// one-qubit eigenstate |1⟩. Register layout: `bits` counting qubits
+/// (0..bits) then the eigenstate qubit (index `bits`). Measuring the
+/// counting register yields `k` exactly.
+pub fn phase_estimation(bits: usize, k: u64) -> QuantumCircuit {
+    assert!((1..=20).contains(&bits));
+    assert!(k < (1u64 << bits));
+    let theta = std::f64::consts::TAU * (k as f64) / ((1u64 << bits) as f64);
+    let eigen = bits;
+    let mut b = CircuitBuilder::named(bits + 1, &format!("qpe_{bits}_{k}"));
+    b = b.x(eigen); // eigenstate |1⟩ of P(θ)
+    for q in 0..bits {
+        b = b.h(q);
+    }
+    // controlled-U^{2^q} = CP(θ·2^q)
+    for q in 0..bits {
+        let angle = theta * (1u64 << q) as f64;
+        b = b.cp(angle, q, eigen);
+    }
+    // inverse QFT on the counting register
+    let iqft = qft(bits).inverse();
+    let mut c = b.build();
+    // embed the inverse QFT on qubits 0..bits (same indices)
+    c.append(&iqft).expect("counting register is a prefix");
+    c
+}
+
+/// Multi-controlled X on `controls` targeting `target`, using the standard
+/// V-chain of Toffolis over `ancillas` (needs `controls.len() - 2` ancillas
+/// for 3+ controls).
+pub fn mcx(
+    b: CircuitBuilder,
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+) -> CircuitBuilder {
+    match controls.len() {
+        0 => b.x(target),
+        1 => b.cx(controls[0], target),
+        2 => b.ccx(controls[0], controls[1], target),
+        k => {
+            assert!(
+                ancillas.len() >= k - 2,
+                "mcx with {k} controls needs {} ancillas",
+                k - 2
+            );
+            let mut b = b.ccx(controls[0], controls[1], ancillas[0]);
+            for i in 2..k - 1 {
+                b = b.ccx(controls[i], ancillas[i - 2], ancillas[i - 1]);
+            }
+            b = b.ccx(controls[k - 1], ancillas[k - 3], target);
+            // Uncompute the AND chain.
+            for i in (2..k - 1).rev() {
+                b = b.ccx(controls[i], ancillas[i - 2], ancillas[i - 1]);
+            }
+            b.ccx(controls[0], controls[1], ancillas[0])
+        }
+    }
+}
+
+/// Grover search over `n ≥ 2` data qubits for the single marked basis state
+/// `marked`, running `iterations` rounds. The returned circuit uses
+/// `n + max(n - 2, 0)` qubits (V-chain ancillas occupy the high indices);
+/// data qubits are `0..n`.
+pub fn grover(n: usize, marked: u64, iterations: usize) -> QuantumCircuit {
+    assert!(n >= 2, "Grover needs at least two data qubits");
+    assert!(marked < (1u64 << n), "marked state out of range");
+    let anc = n.saturating_sub(2);
+    let total = n + anc;
+    let ancillas: Vec<usize> = (n..total).collect();
+    let controls: Vec<usize> = (0..n - 1).collect();
+    let target = n - 1;
+
+    // Multi-controlled Z on all data qubits = H(target) · MCX · H(target).
+    let mcz = |b: CircuitBuilder| -> CircuitBuilder {
+        let b = b.h(target);
+        let b = mcx(b, &controls, target, &ancillas);
+        b.h(target)
+    };
+    // Phase-flip the |marked⟩ state.
+    let oracle = |mut b: CircuitBuilder| -> CircuitBuilder {
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                b = b.x(q);
+            }
+        }
+        b = mcz(b);
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                b = b.x(q);
+            }
+        }
+        b
+    };
+    let diffusion = |mut b: CircuitBuilder| -> CircuitBuilder {
+        for q in 0..n {
+            b = b.h(q);
+        }
+        for q in 0..n {
+            b = b.x(q);
+        }
+        b = mcz(b);
+        for q in 0..n {
+            b = b.x(q);
+        }
+        for q in 0..n {
+            b = b.h(q);
+        }
+        b
+    };
+
+    let mut b = CircuitBuilder::named(total, &format!("grover_{n}_{marked}"));
+    for q in 0..n {
+        b = b.h(q);
+    }
+    for _ in 0..iterations {
+        b = oracle(b);
+        b = diffusion(b);
+    }
+    b.build()
+}
+
+/// The optimal Grover iteration count ⌊π/4·√(2ⁿ)⌋ (at least 1).
+pub fn grover_optimal_iterations(n: usize) -> usize {
+    let space = (1u64 << n) as f64;
+    (std::f64::consts::FRAC_PI_4 * space.sqrt()).floor().max(1.0) as usize
+}
+
+/// A **sparse** circuit family (experiment E3a): H(0) followed by `depth`
+/// layers of permutation-like gates (CX/X/Z/S chains). The state never has
+/// more than two nonzero amplitudes regardless of `n` — exactly the regime
+/// where the paper reports the RDBMS simulating thousands of qubits.
+pub fn sparse_circuit(n: usize, depth: usize, seed: u64) -> QuantumCircuit {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::named(n, &format!("sparse_{n}x{depth}")).h(0);
+    for _ in 0..depth {
+        for q in 0..n - 1 {
+            match rng.gen_range(0..4) {
+                0 => b = b.cx(q, q + 1),
+                1 => b = b.x(q),
+                2 => b = b.z(q),
+                _ => b = b.s(q),
+            }
+        }
+    }
+    b.build()
+}
+
+/// A **dense** random circuit family (experiment E3b): a Hadamard prologue
+/// then `depth` layers of random single-qubit rotations and entangling CX
+/// pairs. The state occupies all 2ⁿ amplitudes.
+pub fn dense_circuit(n: usize, depth: usize, seed: u64) -> QuantumCircuit {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::named(n, &format!("dense_{n}x{depth}")).h_all();
+    for layer in 0..depth {
+        for q in 0..n {
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            b = match rng.gen_range(0..3) {
+                0 => b.rx(theta, q),
+                1 => b.ry(theta, q),
+                _ => b.rz(theta, q),
+            };
+        }
+        // Brick-wall CX pattern alternating offsets.
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            b = b.cx(q, q + 1);
+            q += 2;
+        }
+    }
+    b.build()
+}
+
+/// Uniformly random circuit from the full gate set (property tests and
+/// cross-validation harnesses).
+pub fn random_circuit(n: usize, gates: usize, seed: u64) -> QuantumCircuit {
+    use GateKind::*;
+    assert!(n >= 1);
+    let one_q = [X, Y, Z, H, S, Sdg, T, Tdg, SqrtX];
+    let rot = [Rx, Ry, Rz, Phase];
+    let two_q = [Cx, Cy, Cz, Ch, Swap];
+    let two_rot = [CPhase, CRx, CRy, CRz];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = QuantumCircuit::with_name(n, &format!("random_{n}x{gates}"));
+    for _ in 0..gates {
+        let q0 = rng.gen_range(0..n);
+        let gate = match rng.gen_range(0..4) {
+            0 => Gate::new(one_q[rng.gen_range(0..one_q.len())], vec![q0], vec![]),
+            1 => Gate::new(
+                rot[rng.gen_range(0..rot.len())],
+                vec![q0],
+                vec![rng.gen_range(0.0..std::f64::consts::TAU)],
+            ),
+            2 if n >= 2 => {
+                let mut q1 = rng.gen_range(0..n);
+                while q1 == q0 {
+                    q1 = rng.gen_range(0..n);
+                }
+                Gate::new(two_q[rng.gen_range(0..two_q.len())], vec![q0, q1], vec![])
+            }
+            _ if n >= 2 => {
+                let mut q1 = rng.gen_range(0..n);
+                while q1 == q0 {
+                    q1 = rng.gen_range(0..n);
+                }
+                Gate::new(
+                    two_rot[rng.gen_range(0..two_rot.len())],
+                    vec![q0, q1],
+                    vec![rng.gen_range(0.0..std::f64::consts::TAU)],
+                )
+            }
+            _ => Gate::new(H, vec![q0], vec![]),
+        };
+        c.push(gate).expect("generated gate must be valid");
+    }
+    c
+}
+
+/// Hardware-efficient ansatz as a parameterized family: `layers` rounds of
+/// per-qubit Ry/Rz rotations (symbols `t{layer}_{qubit}_{0|1}`) followed by a
+/// CX ladder. This is the canonical variational workload for §3.3's
+/// parameterized simulations.
+pub fn hardware_efficient_ansatz(n: usize, layers: usize) -> ParamCircuit {
+    assert!(n >= 2);
+    let mut pc = ParamCircuit::new(n, &format!("hea_{n}x{layers}"));
+    for l in 0..layers {
+        for q in 0..n {
+            pc.push(GateKind::Ry, vec![q], vec![ParamExpr::sym(&format!("t{l}_{q}_0"))]);
+            pc.push(GateKind::Rz, vec![q], vec![ParamExpr::sym(&format!("t{l}_{q}_1"))]);
+        }
+        for q in 0..n - 1 {
+            pc.push(GateKind::Cx, vec![q, q + 1], vec![]);
+        }
+    }
+    pc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(5);
+        assert_eq!(c.num_qubits, 5);
+        assert_eq!(c.gate_count(), 5);
+        assert_eq!(c.branching_gate_count(), 1);
+        assert_eq!(ghz(1).gate_count(), 1);
+    }
+
+    #[test]
+    fn equal_superposition_is_all_h() {
+        let c = equal_superposition(4);
+        assert_eq!(c.gate_count(), 4);
+        assert!(c.gates().iter().all(|g| g.kind == GateKind::H));
+        assert_eq!(c.sparsity_bound(), 16.0);
+    }
+
+    #[test]
+    fn parity_check_structure() {
+        let c = parity_check(&[true, false, true]);
+        assert_eq!(c.num_qubits, 4);
+        // 2 X gates for the two set bits + 3 CX fan-in
+        assert_eq!(c.gate_count(), 5);
+        let hist = c.gate_histogram();
+        assert!(hist.contains(&("cx", 3)));
+        assert!(hist.contains(&("x", 2)));
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        // QFT(n): n H + n(n-1)/2 CP + ⌊n/2⌋ swaps
+        let n = 5;
+        let c = qft(n);
+        assert_eq!(c.gate_count(), n + n * (n - 1) / 2 + n / 2);
+    }
+
+    #[test]
+    fn w_state_shape() {
+        let c = w_state(4);
+        assert_eq!(c.num_qubits, 4);
+        assert_eq!(c.gate_count(), 1 + 3 * 2);
+    }
+
+    #[test]
+    fn sparse_circuit_never_branches_after_h() {
+        let c = sparse_circuit(10, 4, 42);
+        assert_eq!(c.branching_gate_count(), 1);
+        assert_eq!(c.sparsity_bound(), 2.0);
+    }
+
+    #[test]
+    fn dense_circuit_branches_everywhere() {
+        let c = dense_circuit(6, 3, 7);
+        assert!(c.branching_gate_count() >= 6);
+        assert_eq!(c.sparsity_bound(), 64.0);
+    }
+
+    #[test]
+    fn random_circuit_is_valid_and_deterministic() {
+        let a = random_circuit(5, 60, 123);
+        let b = random_circuit(5, 60, 123);
+        assert_eq!(a, b, "same seed, same circuit");
+        let c = random_circuit(5, 60, 124);
+        assert_ne!(a, c, "different seed, different circuit");
+        assert_eq!(a.gate_count(), 60);
+    }
+
+    #[test]
+    fn grover_builds_for_various_sizes() {
+        for n in 2..=5 {
+            let c = grover(n, 1, 1);
+            let expected_qubits = n + n.saturating_sub(2);
+            assert_eq!(c.num_qubits, expected_qubits, "n={n}");
+        }
+        assert!(grover_optimal_iterations(2) >= 1);
+        assert_eq!(grover_optimal_iterations(4), 3);
+    }
+
+    #[test]
+    fn ansatz_symbols_count() {
+        let pc = hardware_efficient_ansatz(3, 2);
+        assert_eq!(pc.symbols().len(), 3 * 2 * 2);
+        let c = pc.bind_values(&vec![0.1; 12]).unwrap();
+        assert_eq!(c.num_qubits, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "marked state out of range")]
+    fn grover_rejects_bad_marked() {
+        let _ = grover(2, 7, 1);
+    }
+}
+
+#[cfg(test)]
+mod algorithm_tests {
+    use super::*;
+
+    #[test]
+    fn bernstein_vazirani_structure() {
+        let c = bernstein_vazirani(5, 0b10110);
+        assert_eq!(c.num_qubits, 6);
+        let cx = c.gate_histogram().iter().find(|(k, _)| *k == "cx").map(|(_, n)| *n);
+        assert_eq!(cx, Some(3), "one CX per secret bit");
+    }
+
+    #[test]
+    fn deutsch_jozsa_families() {
+        let constant = deutsch_jozsa(4, None);
+        assert!(constant.gates().iter().all(|g| g.kind != GateKind::Cx));
+        let balanced = deutsch_jozsa(4, Some(0b1010));
+        assert_eq!(
+            balanced.gates().iter().filter(|g| g.kind == GateKind::Cx).count(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn deutsch_jozsa_rejects_zero_mask() {
+        let _ = deutsch_jozsa(3, Some(0));
+    }
+
+    #[test]
+    fn phase_estimation_structure() {
+        let c = phase_estimation(4, 5);
+        assert_eq!(c.num_qubits, 5);
+        // 4 CP controlled-powers + the inverse-QFT internals
+        assert!(c.gates().iter().filter(|g| g.kind == GateKind::CPhase).count() >= 4 + 6);
+    }
+}

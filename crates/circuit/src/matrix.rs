@@ -1,0 +1,258 @@
+//! Small dense complex matrices (gate unitaries).
+//!
+//! Gate matrices are at most 2³ × 2³ in the standard library (CCX/CSWAP), so
+//! a simple row-major `Vec` is the right representation — no BLAS needed.
+
+use crate::complex::{c64, Complex64};
+
+/// A dense complex matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Build from nested row slices (panics on ragged input).
+    pub fn from_rows(rows: &[&[Complex64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    ///
+    /// Index convention: the *right* factor occupies the low-order bits of
+    /// the combined index, matching the circuit convention where qubit 0 is
+    /// the least significant bit.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self[(i1, j1)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for i2 in 0..rhs.rows {
+                    for j2 in 0..rhs.cols {
+                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * rhs[(i2, j2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose U†.
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Scale every entry.
+    pub fn scale(&self, k: Complex64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// ‖U†U − I‖∞ ≤ tol?
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let prod = self.dagger().matmul(self);
+        let id = CMatrix::identity(self.rows);
+        prod.approx_eq(&id, tol)
+    }
+
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Apply to a vector (len = cols).
+    pub fn apply(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Embed `u` as a controlled operation with a *new* control as the local
+    /// least-significant qubit: if control = 0 apply identity, else `u`.
+    pub fn controlled(&self) -> CMatrix {
+        let n = self.rows;
+        let mut out = CMatrix::zeros(2 * n, 2 * n);
+        // Local index layout: bit 0 = control, bits 1.. = u's qubits.
+        for t in 0..n {
+            out[(t << 1, t << 1)] = Complex64::ONE; // control 0: identity
+        }
+        for ti in 0..n {
+            for tj in 0..n {
+                out[((ti << 1) | 1, (tj << 1) | 1)] = self[(ti, tj)];
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// 2×2 helper.
+pub fn m2(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> CMatrix {
+    CMatrix::from_rows(&[&[a, b], &[c, d]])
+}
+
+/// Real 2×2 helper.
+pub fn m2r(a: f64, b: f64, c: f64, d: f64) -> CMatrix {
+    m2(c64(a, 0.0), c64(b, 0.0), c64(c, 0.0), c64(d, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn hadamard() -> CMatrix {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        m2r(h, h, h, -h)
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let h = hadamard();
+        let hh = h.matmul(&h);
+        assert!(hh.approx_eq(&CMatrix::identity(2), TOL), "H² = I");
+    }
+
+    #[test]
+    fn dagger_of_unitary_is_inverse() {
+        let h = hadamard();
+        assert!(h.is_unitary(TOL));
+        let prod = h.matmul(&h.dagger());
+        assert!(prod.approx_eq(&CMatrix::identity(2), TOL));
+    }
+
+    #[test]
+    fn kron_dimensions_and_convention() {
+        let x = m2r(0.0, 1.0, 1.0, 0.0);
+        let id = CMatrix::identity(2);
+        // X on high bit (left factor), identity on low bit.
+        let k = x.kron(&id);
+        assert_eq!(k.rows(), 4);
+        // |00⟩ (index 0) → |10⟩ (index 2)
+        let v = k.apply(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
+        assert!(v[2].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn controlled_embedding_gives_cx() {
+        let x = m2r(0.0, 1.0, 1.0, 0.0);
+        let cx = x.controlled();
+        // Expect the paper's CX permutation: 0→0, 1→3, 2→2, 3→1
+        // (local index = target<<1 | control).
+        for (inp, out) in [(0usize, 0usize), (1, 3), (2, 2), (3, 1)] {
+            assert!(
+                cx[(out, inp)].approx_eq(Complex64::ONE, TOL),
+                "CX[{out}][{inp}] should be 1"
+            );
+        }
+        assert!(cx.is_unitary(TOL));
+    }
+
+    #[test]
+    fn apply_matches_matmul() {
+        let h = hadamard();
+        let v = h.apply(&[Complex64::ONE, Complex64::ZERO]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(c64(s, 0.0), TOL));
+        assert!(v[1].approx_eq(c64(s, 0.0), TOL));
+    }
+
+    #[test]
+    fn non_square_not_unitary_and_scale() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(!m.is_unitary(TOL));
+        let id2 = CMatrix::identity(2).scale(c64(0.0, 1.0));
+        assert!(id2[(0, 0)].approx_eq(Complex64::I, TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_dimension_check() {
+        let _ = CMatrix::zeros(2, 3).matmul(&CMatrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,218 @@
+//! A QASM-flavoured text format (OPENQASM 2.0 subset).
+//!
+//! The paper's Circuit Layer accepts code-based circuit input alongside the
+//! graphical builder; this module provides the textual path:
+//!
+//! ```text
+//! OPENQASM 2.0;
+//! qreg q[3];
+//! h q[0];
+//! cx q[0], q[1];
+//! rz(0.5) q[2];
+//! ```
+//!
+//! Supported: one quantum register, every gate in [`GateKind`], `pi`
+//! arithmetic in parameters (`pi/2`, `3*pi/4`, `-pi`), `//` comments.
+//! Not supported (rejected with clear errors): classical registers,
+//! measurement, `if`, custom gate definitions, multiple registers.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::{Gate, GateKind};
+
+/// Render a circuit as QASM text.
+pub fn to_qasm(circuit: &QuantumCircuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits));
+    for g in circuit.gates() {
+        if g.params.is_empty() {
+            out.push_str(g.kind.name());
+        } else {
+            let params: Vec<String> = g.params.iter().map(|p| format!("{p}")).collect();
+            out.push_str(&format!("{}({})", g.kind.name(), params.join(", ")));
+        }
+        let qubits: Vec<String> = g.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        out.push_str(&format!(" {};\n", qubits.join(", ")));
+    }
+    out
+}
+
+/// Parse QASM text into a circuit.
+pub fn from_qasm(text: &str) -> Result<QuantumCircuit, String> {
+    let mut num_qubits: Option<usize> = None;
+    let mut gates: Vec<Gate> = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = match raw_line.find("//") {
+            Some(idx) => &raw_line[..idx],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| err("missing `;`".into()))?
+            .trim();
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            if num_qubits.is_some() {
+                return Err(err("multiple qreg declarations are not supported".into()));
+            }
+            num_qubits = Some(parse_reg_decl(rest.trim()).map_err(err)?);
+            continue;
+        }
+        if stmt.starts_with("creg") {
+            return Err(err("classical registers are not supported".into()));
+        }
+        if stmt.starts_with("measure") || stmt.starts_with("if") || stmt.starts_with("gate") {
+            return Err(err(format!("unsupported statement `{stmt}`")));
+        }
+        // gate application: name[(params)] q[i](, q[j])*
+        let (head, qubit_part) = match stmt.find(|c: char| c.is_whitespace()) {
+            Some(idx) => stmt.split_at(idx),
+            None => return Err(err(format!("malformed statement `{stmt}`"))),
+        };
+        let (name, params) = match head.find('(') {
+            Some(idx) => {
+                let name = &head[..idx];
+                let inner = head[idx..]
+                    .strip_prefix('(')
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| err(format!("malformed parameter list in `{head}`")))?;
+                let params = inner
+                    .split(',')
+                    .map(|p| parse_param(p.trim()))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(err)?;
+                (name, params)
+            }
+            None => (head, Vec::new()),
+        };
+        let kind = GateKind::from_name(name)
+            .ok_or_else(|| err(format!("unknown gate `{name}`")))?;
+        let qubits = qubit_part
+            .split(',')
+            .map(|q| parse_qubit_ref(q.trim()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(err)?;
+        gates.push(Gate::new(kind, qubits, params));
+    }
+    let n = num_qubits.ok_or("no qreg declaration found")?;
+    let mut c = QuantumCircuit::new(n);
+    for (i, g) in gates.into_iter().enumerate() {
+        c.push(g).map_err(|e| format!("gate #{i}: {e}"))?;
+    }
+    Ok(c)
+}
+
+fn parse_reg_decl(s: &str) -> Result<usize, String> {
+    // expects: q[<n>]
+    let inner = s
+        .strip_prefix("q[")
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("malformed qreg declaration `{s}` (expected q[<n>])"))?;
+    inner.parse::<usize>().map_err(|_| format!("bad register size `{inner}`"))
+}
+
+fn parse_qubit_ref(s: &str) -> Result<usize, String> {
+    let inner = s
+        .strip_prefix("q[")
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("malformed qubit reference `{s}`"))?;
+    inner.parse::<usize>().map_err(|_| format!("bad qubit index `{inner}`"))
+}
+
+/// Parse a parameter expression: float literal, `pi`, `k*pi`, `pi/k`,
+/// `k*pi/m`, each optionally negated.
+fn parse_param(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('-') {
+        return parse_param(rest).map(|v| -v);
+    }
+    if let Ok(v) = s.parse::<f64>() {
+        return Ok(v);
+    }
+    // forms around pi
+    let (num_part, den): (&str, f64) = match s.split_once('/') {
+        Some((a, b)) => {
+            let d = b
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad denominator in `{s}`"))?;
+            (a.trim(), d)
+        }
+        None => (s, 1.0),
+    };
+    let num: f64 = if num_part == "pi" {
+        std::f64::consts::PI
+    } else if let Some((k, p)) = num_part.split_once('*') {
+        if p.trim() != "pi" {
+            return Err(format!("cannot parse parameter `{s}`"));
+        }
+        let c = k.trim().parse::<f64>().map_err(|_| format!("bad coefficient in `{s}`"))?;
+        c * std::f64::consts::PI
+    } else {
+        return Err(format!("cannot parse parameter `{s}`"));
+    };
+    Ok(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn round_trip_library_circuits() {
+        for c in [library::ghz(3), library::qft(3), library::w_state(3)] {
+            let text = to_qasm(&c);
+            let back = from_qasm(&text).unwrap();
+            assert_eq!(back.num_qubits, c.num_qubits);
+            assert_eq!(back.gate_count(), c.gate_count());
+            for (a, b) in c.gates().iter().zip(back.gates()) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.qubits, b.qubits);
+                for (x, y) in a.params.iter().zip(&b.params) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_qasm() {
+        let text = "OPENQASM 2.0;\n\
+                    include \"qelib1.inc\";\n\
+                    qreg q[3];\n\
+                    // prepare GHZ\n\
+                    h q[0];\n\
+                    cx q[0], q[1];\n\
+                    cx q[1], q[2];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits, 3);
+        assert_eq!(c.gate_count(), 3);
+    }
+
+    #[test]
+    fn pi_arithmetic_in_params() {
+        let text = "qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(3*pi/4) q[0];\np(0.25) q[0];\n";
+        let c = from_qasm(text).unwrap();
+        let p: Vec<f64> = c.gates().iter().map(|g| g.params[0]).collect();
+        assert!((p[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((p[1] + std::f64::consts::PI).abs() < 1e-12);
+        assert!((p[2] - 2.356194490192345).abs() < 1e-12);
+        assert_eq!(p[3], 0.25);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(from_qasm("qreg q[2];\nmeasure q[0];\n").unwrap_err().contains("unsupported"));
+        assert!(from_qasm("h q[0];\n").unwrap_err().contains("no qreg"));
+        assert!(from_qasm("qreg q[2];\nfrob q[0];\n").unwrap_err().contains("unknown gate"));
+        assert!(from_qasm("qreg q[2];\nh q[0]\n").unwrap_err().contains("missing `;`"));
+        assert!(from_qasm("qreg q[1];\ncx q[0], q[5];\n").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The benchmarking framework (§3.3 "Parameterized Simulations" and §3.4
+//! Output Layer): sweep workloads across backends and parameter grids,
+//! collect wall time / memory / support, render and export reports.
+
+pub mod experiments;
+pub mod report;
+
+use qymera_circuit::QuantumCircuit;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{BackendKind, Engine, RunReport};
+
+/// One measurement row, flattened for CSV/JSON export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    pub experiment: String,
+    pub workload: String,
+    pub backend: String,
+    pub num_qubits: usize,
+    pub gate_count: usize,
+    pub wall_micros: u128,
+    pub memory_bytes: usize,
+    pub support: usize,
+    pub ok: bool,
+    pub error: String,
+    pub detail: String,
+}
+
+impl BenchRecord {
+    pub fn from_report(experiment: &str, r: &RunReport) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            workload: r.circuit.clone(),
+            backend: r.backend.clone(),
+            num_qubits: r.num_qubits,
+            gate_count: r.gate_count,
+            wall_micros: r.wall_micros,
+            memory_bytes: r.memory_bytes,
+            support: r.support,
+            ok: r.ok(),
+            error: r.error.clone().unwrap_or_default(),
+            detail: r.detail.clone(),
+        }
+    }
+
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_micros as f64 / 1000.0
+    }
+}
+
+/// A circuit family swept over register sizes.
+pub struct Workload {
+    pub name: String,
+    pub make: Box<dyn Fn(usize) -> QuantumCircuit>,
+}
+
+impl Workload {
+    pub fn new(name: &str, make: impl Fn(usize) -> QuantumCircuit + 'static) -> Self {
+        Workload { name: name.to_string(), make: Box::new(make) }
+    }
+
+    /// The workloads named in the paper's demonstration scenarios.
+    pub fn scenario_workloads() -> Vec<Workload> {
+        use qymera_circuit::library;
+        vec![
+            Workload::new("ghz", library::ghz),
+            Workload::new("equal_superposition", library::equal_superposition),
+            Workload::new("parity_superposed", |n| library::parity_check_superposed(n - 1)),
+            Workload::new("qft", library::qft),
+        ]
+    }
+}
+
+/// Run a full sweep: every workload × register size × backend.
+pub fn run_sweep(
+    experiment: &str,
+    engine: &Engine,
+    workloads: &[Workload],
+    sizes: &[usize],
+    backends: &[BackendKind],
+) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for w in workloads {
+        for &n in sizes {
+            let circuit = (w.make)(n);
+            for &b in backends {
+                let report = engine.run(b, &circuit);
+                let mut rec = BenchRecord::from_report(experiment, &report);
+                rec.workload = w.name.clone();
+                records.push(rec);
+            }
+        }
+    }
+    records
+}
+
+/// Re-run `f` keeping the fastest of `reps` timings (reduces scheduler
+/// noise in the tables; Criterion handles the statistical benchmarks).
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> (T, std::time::Duration)) -> (T, std::time::Duration) {
+    let (mut best_val, mut best_t) = f();
+    for _ in 1..reps {
+        let (v, t) = f();
+        if t < best_t {
+            best_val = v;
+            best_t = t;
+        }
+    }
+    (best_val, best_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qymera_sim::SimOptions;
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let engine = Engine::new(SimOptions::default());
+        let workloads = vec![Workload::new("ghz", qymera_circuit::library::ghz)];
+        let recs = run_sweep(
+            "t",
+            &engine,
+            &workloads,
+            &[3, 5],
+            &[BackendKind::Sql, BackendKind::Sparse],
+        );
+        assert_eq!(recs.len(), 4);
+        assert!(recs.iter().all(|r| r.ok));
+        assert!(recs.iter().all(|r| r.support == 2));
+    }
+
+    #[test]
+    fn scenario_workloads_build() {
+        for w in Workload::scenario_workloads() {
+            let c = (w.make)(4);
+            assert!(c.gate_count() > 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn failures_recorded_not_panicked() {
+        let engine = Engine::new(SimOptions::with_memory_limit(256));
+        let workloads = vec![Workload::new("ghz", qymera_circuit::library::ghz)];
+        let recs = run_sweep("t", &engine, &workloads, &[12], &[BackendKind::StateVector]);
+        assert_eq!(recs.len(), 1);
+        assert!(!recs[0].ok);
+        assert!(!recs[0].error.is_empty());
+    }
+
+    #[test]
+    fn best_of_keeps_minimum() {
+        let mut calls = 0;
+        let (_, t) = best_of(3, || {
+            calls += 1;
+            ((), std::time::Duration::from_millis(10 - calls))
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(t, std::time::Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,18 @@
+//! Encoding ablation (Discussion, §2.2): the paper argues its integer
+//! encoding with bitwise operators beats string-encoded states [Trummer,
+//! Q-Data'24] on storage and lookup cost. This regenerates that comparison.
+//!
+//! Usage: expt_encoding [--max-n N]
+
+use qymera_core::benchsuite::experiments::encoding_experiment;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--max-n")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(24);
+    let sizes: Vec<usize> = (8..=max_n).step_by(8).collect();
+    print!("{}", encoding_experiment(&sizes).render());
+}

@@ -1,0 +1,16 @@
+//! E7 — gate-fusion ablation for §3.2's query optimization.
+//!
+//! Usage: expt_fusion [--max-n N]
+
+use qymera_core::benchsuite::experiments::fusion_experiment;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--max-n")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(10);
+    let sizes: Vec<usize> = (4..=max_n).step_by(2).collect();
+    print!("{}", fusion_experiment(&sizes).render());
+}

@@ -1,0 +1,23 @@
+//! E8 — out-of-core SQL simulation (§3.3): dense states under shrinking
+//! memory budgets keep succeeding by spilling aggregation state to disk.
+//!
+//! Usage: expt_out_of_core [--qubits N]
+
+use qymera_core::benchsuite::experiments::out_of_core_experiment;
+
+fn main() {
+    let n: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--qubits")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(12);
+    let budgets = [
+        1usize << 30, // 1 GiB — everything in memory
+        16 << 20,     // 16 MiB
+        1 << 20,      // 1 MiB
+        256 << 10,    // 256 KiB
+        64 << 10,     // 64 KiB
+    ];
+    print!("{}", out_of_core_experiment(n, &budgets).render());
+}

@@ -1,0 +1,35 @@
+//! Method-selector demonstration: for a spread of workloads, show which
+//! backend the selector picks and why (§1: "it is critical to identify
+//! scenarios where RDBMSs excel … rather than applying them blindly").
+
+use qymera_circuit::library;
+use qymera_core::{select_method, Engine};
+use qymera_sim::SimOptions;
+
+fn main() {
+    let circuits = vec![
+        library::ghz(8),
+        library::ghz(40),
+        library::equal_superposition(12),
+        library::dense_circuit(10, 4, 1),
+        library::dense_circuit(22, 30, 1),
+        library::qft(8),
+        library::sparse_circuit(50, 5, 3),
+    ];
+    for opts in [SimOptions::default(), SimOptions::with_memory_limit(64 * 1024)] {
+        match opts.memory_limit {
+            Some(b) => println!("--- with a {b}-byte memory budget ---"),
+            None => println!("--- unlimited memory ---"),
+        }
+        for c in &circuits {
+            let sel = select_method(c, &opts);
+            println!("{:<18} -> {}", c.name, sel.rationale);
+            // Run the choice (when it terminates quickly) to prove it works.
+            if c.num_qubits <= 12 {
+                let r = Engine::new(opts.clone()).run(sel.backend, c);
+                println!("{:<18}    ran: ok={} support={}", "", r.ok(), r.support);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,230 @@
+//! `qymera` — the command-line face of the system (the demo's UI, minus the
+//! browser): load a circuit from JSON/QASM or the built-in library, inspect
+//! the generated SQL, run it on any backend, trace intermediate states, or
+//! benchmark all methods.
+//!
+//! ```text
+//! qymera sql     --circuit ghz:3                    # print the Fig. 2c SQL
+//! qymera run     --circuit qft:5 --backend sql      # simulate & print state
+//! qymera run     --file my_circuit.json --auto      # method selector picks
+//! qymera trace   --circuit ghz:3                    # per-gate state tables
+//! qymera bench   --circuit ghz:12                   # all backends compared
+//! qymera sample  --circuit w:4 --shots 1000         # measurement sampling
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use qymera_circuit::{json, library, qasm, QuantumCircuit};
+use qymera_core::{select_method, BackendKind, Engine};
+use qymera_sim::SimOptions;
+use qymera_translate::SqlSimulator;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: qymera <command> [options]\n\
+     commands:\n\
+       sql      print the SQL translation of a circuit\n\
+       run      simulate a circuit (--backend NAME | --auto)\n\
+       trace    show the state table after every gate (SQL backend)\n\
+       profile  EXPLAIN ANALYZE the translated query (rows/time per operator)\n\
+       bench    run the circuit on every backend and compare\n\
+       sample   sample measurement outcomes (--shots N)\n\
+     options:\n\
+       --circuit SPEC   built-in circuit, e.g. ghz:3, eqsup:4, qft:5,\n\
+                        w:4, bell, parity:10110, grover:3:5, bv:5:19\n\
+       --file PATH      load a circuit from .json or .qasm\n\
+       --backend NAME   sql | statevector | sparse | mps | dd (default sql)\n\
+       --auto           let the method selector choose the backend\n\
+       --memory BYTES   memory budget for the simulation\n\
+       --shots N        samples for the `sample` command (default 1024)\n\
+       --top K          state rows to print (default 16)"
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?.clone();
+    let circuit = load_circuit(args)?;
+    let opts = match opt(args, "--memory") {
+        Some(m) => SimOptions::with_memory_limit(
+            m.parse().map_err(|_| format!("bad --memory value `{m}`"))?,
+        ),
+        None => SimOptions::default(),
+    };
+    let top: usize = opt(args, "--top").and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    match command.as_str() {
+        "sql" => {
+            println!("{}", SqlSimulator::paper_default().generated_sql(&circuit));
+            Ok(())
+        }
+        "run" => {
+            let engine = Engine::new(opts.clone());
+            let backend = if flag(args, "--auto") {
+                let sel = select_method(&circuit, &opts);
+                eprintln!("method selector: {}", sel.rationale);
+                sel.backend
+            } else {
+                let name = opt(args, "--backend").unwrap_or_else(|| "sql".to_string());
+                BackendKind::from_name(&name).ok_or(format!("unknown backend `{name}`"))?
+            };
+            let report = engine.run(backend, &circuit);
+            match report.output {
+                Some(state) => {
+                    eprintln!(
+                        "{}: {} gates in {:.3} ms, state memory {} B, {} nonzero amplitudes",
+                        report.backend,
+                        report.gate_count,
+                        report.wall_micros as f64 / 1000.0,
+                        report.memory_bytes,
+                        report.support
+                    );
+                    print!("{}", state.render_probabilities(top));
+                    Ok(())
+                }
+                None => Err(report.error.unwrap_or_default()),
+            }
+        }
+        "profile" => {
+            let text = SqlSimulator::paper_default()
+                .profile(&circuit)
+                .map_err(|e| e.to_string())?;
+            print!("{text}");
+            Ok(())
+        }
+        "trace" => {
+            let sim = SqlSimulator::paper_default();
+            let states = sim.run_trace(&circuit).map_err(|e| e.to_string())?;
+            for (k, state) in states.iter().enumerate() {
+                println!("state T{k} ({} rows):", state.len());
+                for a in state.iter().take(top) {
+                    println!("  s = {:>6}  r = {:+.6}  i = {:+.6}", a.s, a.amp.re, a.amp.im);
+                }
+                if state.len() > top {
+                    println!("  … {} more rows", state.len() - top);
+                }
+            }
+            Ok(())
+        }
+        "bench" => {
+            let engine = Engine::new(opts);
+            println!(
+                "{:>12}  {:>10}  {:>12}  {:>8}  status",
+                "backend", "wall_ms", "memory_B", "support"
+            );
+            for backend in BackendKind::ALL {
+                let r = engine.run(backend, &circuit);
+                println!(
+                    "{:>12}  {:>10.3}  {:>12}  {:>8}  {}",
+                    r.backend,
+                    r.wall_micros as f64 / 1000.0,
+                    r.memory_bytes,
+                    r.support,
+                    r.error.unwrap_or_else(|| "ok".to_string())
+                );
+            }
+            Ok(())
+        }
+        "sample" => {
+            use rand::SeedableRng;
+            let shots: usize = opt(args, "--shots").and_then(|v| v.parse().ok()).unwrap_or(1024);
+            let engine = Engine::new(opts);
+            let report = engine.run(BackendKind::Sql, &circuit);
+            let state = report.output.ok_or(report.error.unwrap_or_default())?;
+            let mut rng = rand::rngs::StdRng::from_entropy();
+            let counts = state.sample_counts(shots, &mut rng);
+            let mut sorted: Vec<(u64, usize)> = counts.into_iter().collect();
+            sorted.sort_by(|a, b| b.1.cmp(&a.1));
+            for (s, c) in sorted.into_iter().take(top) {
+                let bits: String = (0..circuit.num_qubits)
+                    .rev()
+                    .map(|q| if (s >> q) & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                println!("|{bits}⟩  {c:>6}  ({:.4})", c as f64 / shots as f64);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_circuit(args: &[String]) -> Result<QuantumCircuit, String> {
+    if let Some(path) = opt(args, "--file") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        return if path.ends_with(".qasm") {
+            qasm::from_qasm(&text)
+        } else {
+            json::from_json(&text)
+        };
+    }
+    let spec = opt(args, "--circuit").ok_or("need --circuit SPEC or --file PATH")?;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let arg_n = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or(format!("`{spec}` needs an argument at position {i}"))?
+            .parse()
+            .map_err(|_| format!("bad number in `{spec}`"))
+    };
+    let arg_u64 = |i: usize| -> Result<u64, String> {
+        parts
+            .get(i)
+            .ok_or(format!("`{spec}` needs an argument at position {i}"))?
+            .parse()
+            .map_err(|_| format!("bad number in `{spec}`"))
+    };
+    Ok(match parts[0] {
+        "bell" => library::bell(),
+        "ghz" => library::ghz(arg_n(1)?),
+        "eqsup" => library::equal_superposition(arg_n(1)?),
+        "qft" => library::qft(arg_n(1)?),
+        "w" => library::w_state(arg_n(1)?),
+        "parity" => {
+            let bits = parts.get(1).ok_or("parity:BITS")?;
+            let input: Vec<bool> = bits
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    _ => Err(format!("bad bit `{c}`")),
+                })
+                .collect::<Result<_, _>>()?;
+            library::parity_check(&input)
+        }
+        "grover" => {
+            let n = arg_n(1)?;
+            library::grover(n, arg_u64(2)?, library::grover_optimal_iterations(n))
+        }
+        "bv" => library::bernstein_vazirani(arg_n(1)?, arg_u64(2)?),
+        "dj" => library::deutsch_jozsa(arg_n(1)?, parts.get(2).map(|m| m.parse().unwrap_or(1))),
+        "qpe" => library::phase_estimation(arg_n(1)?, arg_u64(2)?),
+        "sparse" => library::sparse_circuit(arg_n(1)?, 4, 1),
+        "dense" => library::dense_circuit(arg_n(1)?, 4, 1),
+        "hea" => {
+            let pc = library::hardware_efficient_ansatz(arg_n(1)?, 2);
+            let zeros: HashMap<String, f64> =
+                pc.symbols().into_iter().map(|s| (s, 0.25)).collect();
+            pc.bind(&zeros)?
+        }
+        other => return Err(format!("unknown circuit family `{other}`")),
+    })
+}

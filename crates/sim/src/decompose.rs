@@ -1,0 +1,125 @@
+//! Decomposition of 3-qubit gates into the {1,2}-qubit gate set.
+//!
+//! The MPS backend operates on nearest-neighbour 2-qubit gates; CCX/CSWAP
+//! are rewritten with the textbook constructions before simulation.
+
+use qymera_circuit::{Gate, GateKind, QuantumCircuit};
+
+/// Rewrite a circuit so every gate acts on at most two qubits.
+/// CCX uses the standard 6-CX + T-gate construction; CSWAP reduces to CCX
+/// conjugated by CX.
+pub fn decompose_to_two_qubit(circuit: &QuantumCircuit) -> QuantumCircuit {
+    let mut out = QuantumCircuit::with_name(circuit.num_qubits, &circuit.name);
+    for gate in circuit.gates() {
+        match gate.kind {
+            GateKind::Ccx => {
+                let (a, b, c) = (gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+                push_ccx(&mut out, a, b, c);
+            }
+            GateKind::CSwap => {
+                let (ctrl, x, y) = (gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+                push(&mut out, GateKind::Cx, &[y, x], &[]);
+                push_ccx(&mut out, ctrl, x, y);
+                push(&mut out, GateKind::Cx, &[y, x], &[]);
+            }
+            _ => out.push(gate.clone()).expect("input circuit was valid"),
+        }
+    }
+    out
+}
+
+fn push(c: &mut QuantumCircuit, kind: GateKind, qubits: &[usize], params: &[f64]) {
+    c.push(Gate::new(kind, qubits.to_vec(), params.to_vec()))
+        .expect("decomposition produced an invalid gate");
+}
+
+/// Standard Toffoli decomposition (Nielsen & Chuang Fig. 4.9) with controls
+/// `a`, `b` and target `c`.
+fn push_ccx(out: &mut QuantumCircuit, a: usize, b: usize, c: usize) {
+    use GateKind::*;
+    push(out, H, &[c], &[]);
+    push(out, Cx, &[b, c], &[]);
+    push(out, Tdg, &[c], &[]);
+    push(out, Cx, &[a, c], &[]);
+    push(out, T, &[c], &[]);
+    push(out, Cx, &[b, c], &[]);
+    push(out, Tdg, &[c], &[]);
+    push(out, Cx, &[a, c], &[]);
+    push(out, T, &[b], &[]);
+    push(out, T, &[c], &[]);
+    push(out, H, &[c], &[]);
+    push(out, Cx, &[a, b], &[]);
+    push(out, T, &[a], &[]);
+    push(out, Tdg, &[b], &[]);
+    push(out, Cx, &[a, b], &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVectorSim;
+    use crate::traits::{SimOptions, Simulator};
+    use qymera_circuit::{library, CircuitBuilder};
+
+    /// The decomposed circuit must act identically on every basis state.
+    fn assert_equivalent(original: &QuantumCircuit) {
+        let decomposed = decompose_to_two_qubit(original);
+        assert!(decomposed.gates().iter().all(|g| g.qubits.len() <= 2));
+        let n = original.num_qubits;
+        let sim = StateVectorSim;
+        for basis in 0..(1u64 << n) {
+            // Prepare |basis⟩ with X gates, then run both.
+            let mut prep = CircuitBuilder::new(n);
+            for q in 0..n {
+                if (basis >> q) & 1 == 1 {
+                    prep = prep.x(q);
+                }
+            }
+            let prep = prep.build();
+            let mut c1 = prep.clone();
+            c1.append(original).unwrap();
+            let mut c2 = prep;
+            c2.append(&decomposed).unwrap();
+            let o1 = sim.simulate(&c1, &SimOptions::default()).unwrap();
+            let o2 = sim.simulate(&c2, &SimOptions::default()).unwrap();
+            assert!(
+                o1.max_amplitude_diff(&o2) < 1e-9,
+                "basis {basis}: decomposition differs"
+            );
+        }
+    }
+
+    #[test]
+    fn ccx_decomposition_exact() {
+        let c = CircuitBuilder::new(3).ccx(0, 1, 2).build();
+        assert_equivalent(&c);
+        // also with permuted qubit roles
+        let c = CircuitBuilder::new(3).ccx(2, 0, 1).build();
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn cswap_decomposition_exact() {
+        let c = CircuitBuilder::new(3).cswap(0, 1, 2).build();
+        assert_equivalent(&c);
+        let c = CircuitBuilder::new(3).cswap(1, 2, 0).build();
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn grover_decomposes_and_matches() {
+        let g = library::grover(3, 2, 1);
+        let d = decompose_to_two_qubit(&g);
+        let sim = StateVectorSim;
+        let o1 = sim.simulate(&g, &SimOptions::default()).unwrap();
+        let o2 = sim.simulate(&d, &SimOptions::default()).unwrap();
+        assert!(o1.max_amplitude_diff(&o2) < 1e-9);
+    }
+
+    #[test]
+    fn passthrough_for_small_gates() {
+        let c = library::ghz(4);
+        let d = decompose_to_two_qubit(&c);
+        assert_eq!(c.gates(), d.gates());
+    }
+}

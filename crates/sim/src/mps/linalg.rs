@@ -1,0 +1,261 @@
+//! Complex linear algebra for the MPS backend, implemented from scratch:
+//! a one-sided Jacobi SVD for complex matrices.
+//!
+//! One-sided Jacobi orthogonalizes the columns of `A` by repeatedly applying
+//! complex plane rotations (accumulated into `V`), maintaining the invariant
+//! `A_orig = W · V†` where `W` is the working matrix. At convergence the
+//! column norms of `W` are the singular values. It is slower than
+//! Golub–Kahan but compact, numerically robust, and exact enough for
+//! bond-dimension truncation at simulation scales (matrices here are at most
+//! a few hundred square).
+
+use qymera_circuit::{CMatrix, Complex64};
+#[cfg(test)]
+use qymera_circuit::c64;
+
+use crate::traits::SimError;
+
+/// Thin SVD result: `a = u · diag(s) · vt`, singular values descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    pub u: CMatrix,
+    pub s: Vec<f64>,
+    pub vt: CMatrix,
+}
+
+const MAX_SWEEPS: usize = 100;
+const JACOBI_TOL: f64 = 1e-14;
+
+/// Compute the thin SVD of an arbitrary complex matrix.
+pub fn svd(a: &CMatrix) -> Result<Svd, SimError> {
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        // A = U S V†  ⇔  A† = V S U†
+        let at = a.dagger();
+        let r = svd_tall(&at)?;
+        Ok(Svd { u: r.vt.dagger(), s: r.s, vt: r.u.dagger() })
+    }
+}
+
+/// One-sided Jacobi for `m ≥ n`.
+fn svd_tall(a: &CMatrix) -> Result<Svd, SimError> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut w = a.clone(); // working matrix, columns converge to U·Σ
+    let mut v = CMatrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // 2×2 Gram block of columns p, q.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = Complex64::ZERO;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    alpha += wp.norm_sqr();
+                    beta += wq.norm_sqr();
+                    gamma += wp.conj() * wq;
+                }
+                let gmag = gamma.abs();
+                // Absolute floor guards against near-zero column pairs where
+                // 1/|γ| would overflow to infinity (rank-deficient blocks).
+                if gmag <= JACOBI_TOL * (alpha * beta).sqrt() || gmag < 1e-150 {
+                    continue;
+                }
+                rotated = true;
+                // Phase so the off-diagonal becomes real positive.
+                let phase = gamma.scale(1.0 / gmag); // e^{iφ}
+                let tau = (beta - alpha) / (2.0 * gmag);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Column rotation: p' = c·p − s·e^{−iφ}·q ; q' = s·e^{iφ}·p + c·q
+                let s_eiphi = phase.scale(s);
+                let s_emiphi = phase.conj().scale(s);
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = wp.scale(c) - s_emiphi * wq;
+                    w[(i, q)] = s_eiphi * wp + wq.scale(c);
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = vp.scale(c) - s_emiphi * vq;
+                    v[(i, q)] = s_eiphi * vp + vq.scale(c);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and normalize U columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
+
+    let mut u = CMatrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vt = CMatrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sigma = norms[old_j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u[(i, new_j)] = w[(i, old_j)].scale(1.0 / sigma);
+            }
+        } else {
+            // Null column: any unit vector orthogonal works; e_{new_j} keeps
+            // U numerically well-formed (it multiplies σ = 0 anyway).
+            if new_j < m {
+                u[(new_j, new_j)] = Complex64::ONE;
+            }
+        }
+        for k in 0..n {
+            vt[(new_j, k)] = v[(k, old_j)].conj();
+        }
+    }
+    Ok(Svd { u, s, vt })
+}
+
+/// Reconstruct `u · diag(s) · vt` (test helper; also used by truncation
+/// diagnostics).
+pub fn reconstruct(svd: &Svd) -> CMatrix {
+    let n = svd.s.len();
+    let mut us = svd.u.clone();
+    for j in 0..n {
+        for i in 0..us.rows() {
+            us[(i, j)] = us[(i, j)].scale(svd.s[j]);
+        }
+    }
+    us.matmul(&svd.vt)
+}
+
+/// Frobenius norm.
+pub fn fro_norm(a: &CMatrix) -> f64 {
+    a.data().iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Random-ish deterministic matrix for tests (simple LCG, no rand dep here).
+#[cfg(test)]
+pub fn test_matrix(m: usize, n: usize, seed: u64) -> CMatrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut a = CMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            a[(i, j)] = c64(next(), next());
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    fn check_svd(a: &CMatrix) {
+        let r = svd(a).unwrap();
+        // Reconstruction.
+        let back = reconstruct(&r);
+        let mut diff = a.clone();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                diff[(i, j)] = diff[(i, j)] - back[(i, j)];
+            }
+        }
+        assert!(
+            fro_norm(&diff) <= TOL * fro_norm(a).max(1.0),
+            "reconstruction error too large: {}",
+            fro_norm(&diff)
+        );
+        // Descending nonnegative singular values.
+        for w in r.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(r.s.iter().all(|&x| x >= 0.0));
+        // U has orthonormal columns where σ > 0.
+        let gram = r.u.dagger().matmul(&r.u);
+        for j in 0..r.s.len() {
+            if r.s[j] > 1e-10 {
+                assert!((gram[(j, j)].re - 1.0).abs() < 1e-8, "U column {j} not unit");
+            }
+        }
+        // V† is unitary.
+        let gram = r.vt.matmul(&r.vt.dagger());
+        let mut dev: f64 = 0.0;
+        for i in 0..gram.rows() {
+            for j in 0..gram.cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                dev = dev.max((gram[(i, j)].re - expect).abs()).max(gram[(i, j)].im.abs());
+            }
+        }
+        assert!(dev < 1e-8, "V† not unitary ({}x{}), deviation {dev:.3e}", a.rows(), a.cols());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        check_svd(&CMatrix::identity(4));
+        let mut d = CMatrix::zeros(3, 3);
+        d[(0, 0)] = c64(3.0, 0.0);
+        d[(1, 1)] = c64(0.0, 2.0); // complex diagonal: σ = |entry|
+        d[(2, 2)] = c64(1.0, 0.0);
+        let r = svd(&d).unwrap();
+        assert!((r.s[0] - 3.0).abs() < TOL);
+        assert!((r.s[1] - 2.0).abs() < TOL);
+        assert!((r.s[2] - 1.0).abs() < TOL);
+        check_svd(&d);
+    }
+
+    #[test]
+    fn random_square_tall_wide() {
+        check_svd(&test_matrix(6, 6, 1));
+        check_svd(&test_matrix(12, 5, 2));
+        check_svd(&test_matrix(4, 9, 3));
+        check_svd(&test_matrix(1, 7, 4));
+        check_svd(&test_matrix(7, 1, 5));
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Two identical columns → one zero singular value.
+        let mut a = test_matrix(5, 3, 7);
+        for i in 0..5 {
+            let v = a[(i, 0)];
+            a[(i, 2)] = v;
+        }
+        let r = svd(&a).unwrap();
+        assert!(r.s[2] < 1e-9, "expected a (near-)zero singular value");
+        check_svd(&a);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = CMatrix::zeros(4, 3);
+        let r = svd(&a).unwrap();
+        assert!(r.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn singular_values_match_known_case() {
+        // A = [[1, 0], [0, 0], [0, 2i]] → σ = {2, 1}
+        let mut a = CMatrix::zeros(3, 2);
+        a[(0, 0)] = c64(1.0, 0.0);
+        a[(2, 1)] = c64(0.0, 2.0);
+        let r = svd(&a).unwrap();
+        assert!((r.s[0] - 2.0).abs() < TOL);
+        assert!((r.s[1] - 1.0).abs() < TOL);
+    }
+}

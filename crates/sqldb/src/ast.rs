@@ -1,0 +1,617 @@
+//! Abstract syntax tree for the supported SQL dialect, plus a pretty-printer
+//! whose output re-parses to the same tree (used by round-trip property
+//! tests and by `EXPLAIN`-style debugging output).
+
+use std::fmt;
+
+use crate::bigbits::BigBits;
+
+/// A literal constant in SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Int(i64),
+    Big(BigBits),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Column data types accepted by `CREATE TABLE` and `CAST`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    Integer,
+    /// Arbitrary-width unsigned integer (see [`crate::bigbits`]).
+    HugeInt,
+    Double,
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::HugeInt => write!(f, "HUGEINT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    /// Bitwise NOT `~` (Table 1 of the paper).
+    BitNot,
+    Not,
+}
+
+/// Binary operators in increasing precedence order groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Shl,
+    Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinaryOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        }
+    }
+}
+
+/// Scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Literal),
+    /// `table.column` or bare `column`.
+    Column { table: Option<String>, name: String },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Function call — aggregates (`SUM`, `COUNT`, ...) and scalars
+    /// (`ABS`, `SQRT`, ...). `COUNT(*)` is `Function { args: [Expr::Star] }`.
+    Function { name: String, args: Vec<Expr>, distinct: bool },
+    Star,
+    Cast { expr: Box<Expr>, ty: DataType },
+    IsNull { expr: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+    /// Parenthesized — kept so the printer reproduces the translator's SQL.
+    Paren(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { table: Some(table.to_string()), name: name.to_string() }
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// True if the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Paren(expr) => {
+                expr.contains_aggregate()
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_branch.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            _ => false,
+        }
+    }
+
+    /// Visit every column reference.
+    pub fn visit_columns(&self, f: &mut impl FnMut(&Option<String>, &str)) {
+        match self {
+            Expr::Column { table, name } => f(table, name),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Paren(expr) => {
+                expr.visit_columns(f)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Function { args, .. } => args.iter().for_each(|a| a.visit_columns(f)),
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                list.iter().for_each(|a| a.visit_columns(f));
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                if let Some(op) = operand {
+                    op.visit_columns(f);
+                }
+                for (c, r) in branches {
+                    c.visit_columns(f);
+                    r.visit_columns(f);
+                }
+                if let Some(e) = else_branch {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Literal(_) | Expr::Star => {}
+        }
+    }
+}
+
+/// Names treated as aggregate functions by the planner.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "SUM" | "COUNT" | "MIN" | "MAX" | "AVG"
+    )
+}
+
+/// One item of the SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(String),
+}
+
+/// A table in FROM: a named table or a derived subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Named { name: String, alias: Option<String> },
+    Subquery { query: Box<Query>, alias: String },
+}
+
+impl TableRef {
+    /// The name this relation is addressable by in the enclosing scope.
+    pub fn visible_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<Expr>,
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// Select or UNION ALL chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    UnionAll(Box<SetExpr>, Box<SetExpr>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// A full query: optional CTEs, a body, and ordering/limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ctes: Vec<(String, Query)>,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        if_not_exists: bool,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+    Query(Query),
+    /// `EXPLAIN <query>` — returns the optimized plan as text rows.
+    Explain(Query),
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Big(b) => write!(f, "0x{}", b.to_hex()),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "-{expr}"),
+                UnaryOp::BitNot => write!(f, "~{expr}"),
+                UnaryOp::Not => write!(f, "NOT {expr}"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {} {right})", op.symbol()),
+            Expr::Function { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Star => write!(f, "*"),
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_branch {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Paren(e) => write!(f, "({e})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias: Some(a) } => write!(f, "{name} AS {a}"),
+            TableRef::Named { name, alias: None } => write!(f, "{name}"),
+            TableRef::Subquery { query, alias } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        for j in &self.joins {
+            let kw = match j.kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+                JoinKind::Cross => "CROSS JOIN",
+            };
+            write!(f, " {kw} {}", j.table)?;
+            if let Some(on) = &j.on {
+                write!(f, " ON {on}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::UnionAll(a, b) => write!(f, "{a} UNION ALL {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.ctes.is_empty() {
+            write!(f, "WITH ")?;
+            for (i, (name, q)) in self.ctes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name} AS ({q})")?;
+            }
+            write!(f, " ")?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                write!(
+                    f,
+                    "CREATE TABLE {}{name} (",
+                    if *if_not_exists { "IF NOT EXISTS " } else { "" }
+                )?;
+                for (i, (c, t)) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c} {t}")?;
+                }
+                write!(f, ")")
+            }
+            Statement::DropTable { name, if_exists } => {
+                write!(f, "DROP TABLE {}{name}", if *if_exists { "IF EXISTS " } else { "" })
+            }
+            Statement::Insert { table, columns, rows } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                write!(f, " VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, where_clause } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_parenthesizes_binaries() {
+        let e = Expr::binary(
+            Expr::binary(Expr::qcol("T0", "s"), BinaryOp::BitAnd, Expr::int(1)),
+            BinaryOp::BitOr,
+            Expr::qcol("H", "out_s"),
+        );
+        assert_eq!(e.to_string(), "((T0.s & 1) | H.out_s)");
+    }
+
+    #[test]
+    fn contains_aggregate_detection() {
+        let sum = Expr::Function {
+            name: "SUM".into(),
+            args: vec![Expr::col("r")],
+            distinct: false,
+        };
+        assert!(sum.contains_aggregate());
+        let nested = Expr::binary(sum, BinaryOp::Add, Expr::int(1));
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("r").contains_aggregate());
+        let scalar = Expr::Function { name: "ABS".into(), args: vec![Expr::col("x")], distinct: false };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn visit_columns_collects_references() {
+        let e = Expr::binary(Expr::qcol("a", "x"), BinaryOp::Add, Expr::col("y"));
+        let mut seen = Vec::new();
+        e.visit_columns(&mut |t, n| seen.push((t.clone(), n.to_string())));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (Some("a".to_string()), "x".to_string()));
+    }
+
+    #[test]
+    fn statement_display() {
+        let st = Statement::CreateTable {
+            name: "T0".into(),
+            columns: vec![("s".into(), DataType::Integer), ("r".into(), DataType::Double)],
+            if_not_exists: false,
+        };
+        assert_eq!(st.to_string(), "CREATE TABLE T0 (s INTEGER, r DOUBLE)");
+    }
+
+    #[test]
+    fn case_expression_display() {
+        let e = Expr::Case {
+            operand: None,
+            branches: vec![(
+                Expr::binary(Expr::col("x"), BinaryOp::Gt, Expr::int(0)),
+                Expr::int(1),
+            )],
+            else_branch: Some(Box::new(Expr::int(0))),
+        };
+        assert_eq!(e.to_string(), "CASE WHEN (x > 0) THEN 1 ELSE 0 END");
+    }
+}

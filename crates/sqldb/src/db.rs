@@ -1,0 +1,641 @@
+//! The embedded database façade.
+//!
+//! ```
+//! use qymera_sqldb::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+//! db.execute("INSERT INTO T0 VALUES (0, 1.0, 0.0)").unwrap();
+//! let rs = db.execute("SELECT s, r FROM T0 ORDER BY s").unwrap();
+//! assert_eq!(rs.rows().len(), 1);
+//! ```
+
+use std::sync::Arc;
+
+use crate::ast::{DataType, Statement};
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::exec::{build_stream, ExecContext};
+use crate::expr::bind;
+use crate::parser::{parse_script, parse_statement};
+use crate::plan::logical::plan_query;
+use crate::plan::optimizer::optimize;
+use crate::schema::RelSchema;
+use crate::storage::budget::MemoryBudget;
+use crate::storage::spill::{Row, SpillDir};
+use crate::value::Value;
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+    /// Rows inserted/deleted for DML; 0 for queries and DDL.
+    affected: usize,
+}
+
+impl ResultSet {
+    fn dml(affected: usize) -> Self {
+        ResultSet { columns: Vec::new(), rows: Vec::new(), affected }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    pub fn affected(&self) -> usize {
+        self.affected
+    }
+
+    /// Single scalar convenience accessor (first column of first row).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Render as an aligned text table (for examples and the CLI).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() && cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(0)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execution statistics, cumulative over the database lifetime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbStats {
+    pub statements_executed: u64,
+    pub rows_returned: u64,
+    pub spill_files: u64,
+    pub spill_bytes: u64,
+    /// High-water mark of the memory ledger in bytes.
+    pub peak_memory_bytes: usize,
+}
+
+/// An embedded single-threaded database instance.
+pub struct Database {
+    catalog: Catalog,
+    budget: MemoryBudget,
+    spill: Arc<SpillDir>,
+    statements: u64,
+    rows_returned: u64,
+}
+
+impl Database {
+    /// Unlimited memory budget (usage is still tracked).
+    pub fn new() -> Self {
+        Self::with_budget(MemoryBudget::unlimited())
+    }
+
+    /// Database whose operators and tables share `budget`; exceeding it makes
+    /// operators spill to disk (or fail where spilling is impossible).
+    pub fn with_memory_limit(bytes: usize) -> Self {
+        Self::with_budget(MemoryBudget::with_limit(bytes))
+    }
+
+    pub fn with_budget(budget: MemoryBudget) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            budget,
+            spill: SpillDir::new().expect("cannot create spill directory"),
+            statements: 0,
+            rows_returned: 0,
+        }
+    }
+
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            statements_executed: self.statements,
+            rows_returned: self.rows_returned,
+            spill_files: self.spill.files_created(),
+            spill_bytes: self.spill.bytes_written(),
+            peak_memory_bytes: self.budget.peak(),
+        }
+    }
+
+    fn ctx(&self) -> ExecContext {
+        ExecContext {
+            budget: self.budget.clone(),
+            spill: Arc::clone(&self.spill),
+            instrument: None,
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the query with per-operator instrumentation
+    /// and render the plan annotated with row counts and inclusive times.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let st = parse_statement(sql)?;
+        let Statement::Query(q) = st else {
+            return Err(Error::Plan("EXPLAIN ANALYZE requires a query".into()));
+        };
+        let plan = optimize(plan_query(&q, &self.catalog)?);
+        let stats = Rc::new(RefCell::new(Vec::new()));
+        let mut ctx = self.ctx();
+        ctx.instrument = Some(Rc::clone(&stats));
+        let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
+        let mut total_rows = 0u64;
+        while stream.next_row()?.is_some() {
+            total_rows += 1;
+        }
+        drop(stream);
+        let mut out = String::new();
+        for node in stats.borrow().iter() {
+            out.push_str(&format!(
+                "{}{:<28} rows={:<9} time={:.3} ms
+",
+                "  ".repeat(node.depth),
+                node.label,
+                node.rows_out,
+                node.nanos as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!("total output rows: {total_rows}
+"));
+        Ok(out)
+    }
+
+    /// Execute a single SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        let st = parse_statement(sql)?;
+        self.execute_statement(st)
+    }
+
+    /// Execute a `;`-separated script; returns the last statement's result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ResultSet> {
+        let statements = parse_script(sql)?;
+        let mut last = ResultSet::dml(0);
+        for st in statements {
+            last = self.execute_statement(st)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, st: Statement) -> Result<ResultSet> {
+        self.statements += 1;
+        match st {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                self.catalog.create_table(&name, columns, if_not_exists, self.budget.clone())?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&name, if_exists)?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let n = self.run_insert(&table, columns.as_deref(), rows)?;
+                Ok(ResultSet::dml(n))
+            }
+            Statement::Delete { table, where_clause } => {
+                let schema = self.catalog.get(&table)?.schema();
+                let predicate = match &where_clause {
+                    Some(w) => Some(bind(w, &schema)?),
+                    None => None,
+                };
+                let t = self.catalog.get_mut(&table)?;
+                let n = t.delete_where(|row| match &predicate {
+                    Some(p) => Ok(p.eval(row)?.as_bool()? == Some(true)),
+                    None => Ok(true),
+                })?;
+                Ok(ResultSet::dml(n))
+            }
+            Statement::Explain(q) => {
+                let plan = optimize(plan_query(&q, &self.catalog)?);
+                let rows: Vec<Row> = plan
+                    .explain()
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(ResultSet { columns: vec!["plan".to_string()], rows, affected: 0 })
+            }
+            Statement::Query(q) => {
+                let plan = optimize(plan_query(&q, &self.catalog)?);
+                let schema = plan.schema();
+                let ctx = self.ctx();
+                let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
+                let mut rows = Vec::new();
+                while let Some(row) = stream.next_row()? {
+                    rows.push(row);
+                }
+                self.rows_returned += rows.len() as u64;
+                Ok(ResultSet { columns: schema.names(), rows, affected: 0 })
+            }
+        }
+    }
+
+    /// `CREATE TABLE <name> AS <query>`: streams the query result into a new
+    /// table, charging the budget incrementally (the out-of-core CTAS path
+    /// used by the Qymera runner to materialize intermediate states).
+    pub fn create_table_as(&mut self, name: &str, sql: &str) -> Result<usize> {
+        let st = parse_statement(sql)?;
+        let Statement::Query(q) = st else {
+            return Err(Error::Plan("CREATE TABLE AS requires a query".into()));
+        };
+        let plan = optimize(plan_query(&q, &self.catalog)?);
+        let schema = plan.schema();
+        let ctx = self.ctx();
+        let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
+
+        // Column types are inferred from the first row; later rows must
+        // coerce losslessly (the Qymera translator guarantees this by casting
+        // `s` explicitly when states are wider than 63 bits).
+        let mut first_rows = Vec::new();
+        let first = stream.next_row()?;
+        let types: Vec<DataType> = match &first {
+            Some(row) => row.iter().map(infer_type).collect(),
+            None => vec![DataType::Double; schema.len()],
+        };
+        if let Some(r) = first {
+            first_rows.push(r);
+        }
+        let columns: Vec<(String, DataType)> = schema
+            .names()
+            .into_iter()
+            .zip(types)
+            .collect();
+        self.catalog.create_table(name, columns, false, self.budget.clone())?;
+
+        let mut inserted = 0usize;
+        const CHUNK: usize = 4096;
+        let mut buf = first_rows;
+        loop {
+            while buf.len() < CHUNK {
+                match stream.next_row()? {
+                    Some(r) => buf.push(r),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                break;
+            }
+            let coerced: Vec<Row> = {
+                let t = self.catalog.get(name)?;
+                buf.drain(..).map(|r| t.coerce_row(r)).collect::<Result<_>>()?
+            };
+            inserted += coerced.len();
+            self.catalog.get_mut(name)?.insert_rows(coerced)?;
+        }
+        Ok(inserted)
+    }
+
+    /// Bulk-load pre-built rows (bypasses SQL parsing; used by the Qymera
+    /// translator for gate/state tables, mirroring a native loader API).
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let coerced: Vec<Row> = {
+            let t = self.catalog.get(table)?;
+            rows.into_iter().map(|r| t.coerce_row(r)).collect::<Result<_>>()?
+        };
+        let n = coerced.len();
+        self.catalog.get_mut(table)?.insert_rows(coerced)?;
+        Ok(n)
+    }
+
+    /// Output schema a query would produce, without executing it.
+    pub fn query_schema(&self, sql: &str) -> Result<RelSchema> {
+        let st = parse_statement(sql)?;
+        let Statement::Query(q) = st else {
+            return Err(Error::Plan("not a query".into()));
+        };
+        Ok(plan_query(&q, &self.catalog)?.schema())
+    }
+
+    /// EXPLAIN-style plan rendering.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let st = parse_statement(sql)?;
+        let Statement::Query(q) = st else {
+            return Err(Error::Plan("EXPLAIN requires a query".into()));
+        };
+        Ok(optimize(plan_query(&q, &self.catalog)?).explain())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    pub fn table_row_count(&self, name: &str) -> Result<usize> {
+        Ok(self.catalog.get(name)?.row_count())
+    }
+
+    pub fn drop_table_if_exists(&mut self, name: &str) -> Result<()> {
+        self.catalog.drop_table(name, true)
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: Vec<Vec<crate::ast::Expr>>,
+    ) -> Result<usize> {
+        let empty_schema = RelSchema::default();
+        let t = self.catalog.get(table)?;
+        let ncols = t.columns().len();
+        // Map provided column order to table order.
+        let mapping: Vec<usize> = match columns {
+            Some(cols) => {
+                let mut m = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let idx = t
+                        .columns()
+                        .iter()
+                        .position(|(n, _)| n.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| {
+                            Error::Plan(format!("unknown column `{c}` in INSERT"))
+                        })?;
+                    m.push(idx);
+                }
+                m
+            }
+            None => (0..ncols).collect(),
+        };
+        let mut coerced = Vec::with_capacity(rows.len());
+        for exprs in rows {
+            if exprs.len() != mapping.len() {
+                return Err(Error::Plan(format!(
+                    "INSERT expects {} values, got {}",
+                    mapping.len(),
+                    exprs.len()
+                )));
+            }
+            let mut full = vec![Value::Null; ncols];
+            for (expr, &target) in exprs.iter().zip(&mapping) {
+                let bexpr = bind(expr, &empty_schema)?;
+                full[target] = bexpr.eval(&vec![])?;
+            }
+            coerced.push(self.catalog.get(table)?.coerce_row(full)?);
+        }
+        let n = coerced.len();
+        self.catalog.get_mut(table)?.insert_rows(coerced)?;
+        Ok(n)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Infer a column type from a sample value (CTAS).
+fn infer_type(v: &Value) -> DataType {
+    match v {
+        Value::Int(_) => DataType::Integer,
+        Value::Float(_) => DataType::Double,
+        Value::Str(_) => DataType::Text,
+        Value::Big(_) => DataType::HugeInt,
+        Value::Null => DataType::Double,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz_db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE); \
+             INSERT INTO T0 VALUES (0, 1.0, 0.0); \
+             CREATE TABLE H (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE); \
+             INSERT INTO H VALUES (0, 0, 0.7071067811865476, 0.0), \
+                                  (0, 1, 0.7071067811865476, 0.0), \
+                                  (1, 0, 0.7071067811865476, 0.0), \
+                                  (1, 1, -0.7071067811865476, 0.0); \
+             CREATE TABLE CX (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE); \
+             INSERT INTO CX VALUES (0, 0, 1.0, 0.0), (1, 3, 1.0, 0.0), \
+                                   (2, 2, 1.0, 0.0), (3, 1, 1.0, 0.0);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fig2_full_cte_chain_produces_ghz() {
+        // The exact query of Fig. 2c, three gates on |000⟩.
+        let mut db = ghz_db();
+        let sql = "WITH T1 AS (
+              SELECT ((T0.s & ~1) | H.out_s) AS s,
+                     SUM((T0.r * H.r) - (T0.i * H.i)) AS r,
+                     SUM((T0.r * H.i) + (T0.i * H.r)) AS i
+              FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+              GROUP BY ((T0.s & ~1) | H.out_s)),
+            T2 AS (
+              SELECT ((T1.s & ~3) | CX.out_s) AS s,
+                     SUM((T1.r * CX.r) - (T1.i * CX.i)) AS r,
+                     SUM((T1.r * CX.i) + (T1.i * CX.r)) AS i
+              FROM T1 JOIN CX ON CX.in_s = (T1.s & 3)
+              GROUP BY ((T1.s & ~3) | CX.out_s)),
+            T3 AS (
+              SELECT ((T2.s & ~6) | (CX.out_s << 1)) AS s,
+                     SUM((T2.r * CX.r) - (T2.i * CX.i)) AS r,
+                     SUM((T2.r * CX.i) + (T2.i * CX.r)) AS i
+              FROM T2 JOIN CX ON CX.in_s = ((T2.s >> 1) & 3)
+              GROUP BY ((T2.s & ~6) | (CX.out_s << 1)))
+            SELECT s, r, i FROM T3 ORDER BY s";
+        let rs = db.execute(sql).unwrap();
+        assert_eq!(rs.columns(), &["s", "r", "i"]);
+        assert_eq!(rs.rows().len(), 2, "GHZ state has two basis states");
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert_eq!(rs.rows()[0][0], Value::Int(0));
+        assert!((rs.rows()[0][1].as_f64().unwrap() - inv_sqrt2).abs() < 1e-12);
+        assert_eq!(rs.rows()[1][0], Value::Int(7));
+        assert!((rs.rows()[1][1].as_f64().unwrap() - inv_sqrt2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_with_column_list_and_delete() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        let rs = db.execute("INSERT INTO t (b, a) VALUES ('x', 1), ('y', 2)").unwrap();
+        assert_eq!(rs.affected(), 2);
+        let rs = db.execute("SELECT a FROM t WHERE b = 'x'").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        let rs = db.execute("DELETE FROM t WHERE a = 1").unwrap();
+        assert_eq!(rs.affected(), 1);
+        assert_eq!(db.table_row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn create_table_as_streams_rows() {
+        let mut db = ghz_db();
+        let n = db
+            .create_table_as("T1", "SELECT ((T0.s & ~1) | H.out_s) AS s, \
+                 SUM((T0.r * H.r) - (T0.i * H.i)) AS r, \
+                 SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
+                 FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
+                 GROUP BY ((T0.s & ~1) | H.out_s)")
+            .unwrap();
+        assert_eq!(n, 2);
+        let rs = db.execute("SELECT COUNT(*) FROM T1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn stats_track_execution() {
+        let mut db = ghz_db();
+        let before = db.stats();
+        db.execute("SELECT * FROM H").unwrap();
+        let after = db.stats();
+        assert_eq!(after.statements_executed, before.statements_executed + 1);
+        assert_eq!(after.rows_returned, before.rows_returned + 4);
+        assert!(after.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut db = Database::new();
+        assert!(db.execute("SELECT * FROM missing").is_err());
+        assert!(db.execute("SELEC 1").is_err());
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err());
+        assert!(db.execute("INSERT INTO t VALUES ('text')").is_err());
+    }
+
+    #[test]
+    fn memory_limited_db_spills_on_aggregate() {
+        // Budget fits the 50k-row base table (~3.5 MB) but not the 20k-group
+        // aggregation state on top of it, forcing the operator to spill.
+        let mut db = Database::with_memory_limit(4 * 1024 * 1024);
+        db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
+        let rows: Vec<Row> = (0..50_000)
+            .map(|i| vec![Value::Int(i % 20_000), Value::Float(0.5)])
+            .collect();
+        db.insert_rows("big", rows).unwrap();
+        let rs = db
+            .execute("SELECT k, SUM(v) AS total FROM big GROUP BY k ORDER BY k LIMIT 3")
+            .unwrap();
+        assert_eq!(rs.rows().len(), 3);
+        assert!(db.stats().spill_files > 0, "expected the aggregate to spill");
+    }
+
+    #[test]
+    fn to_table_string_renders() {
+        let mut db = ghz_db();
+        let rs = db.execute("SELECT in_s, out_s FROM CX ORDER BY in_s").unwrap();
+        let s = rs.to_table_string();
+        assert!(s.contains("in_s"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn explain_returns_plan() {
+        let db = ghz_db();
+        let text = db.explain("SELECT s FROM T0 WHERE s = 0").unwrap();
+        assert!(text.contains("Scan T0"));
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_statement_returns_plan_rows() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
+        let rs = db.execute("EXPLAIN SELECT a FROM t WHERE a > 1 ORDER BY a").unwrap();
+        assert_eq!(rs.columns(), &["plan"]);
+        let text: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+        assert!(text.iter().any(|l| l.contains("Scan t")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Sort")), "{text:?}");
+    }
+
+    #[test]
+    fn explain_shows_pushdown() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (x INTEGER)").unwrap();
+        db.execute("CREATE TABLE b (y INTEGER)").unwrap();
+        let rs = db
+            .execute("EXPLAIN SELECT x FROM a JOIN b ON a.x = b.y WHERE a.x > 3")
+            .unwrap();
+        let text = rs
+            .rows()
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        // the filter on a.x must sit below the join after optimization
+        let join_pos = text.find("Join").unwrap();
+        let filter_pos = text.find("Filter").unwrap();
+        assert!(filter_pos > join_pos, "filter should be pushed under the join:\n{text}");
+    }
+}
+
+#[cfg(test)]
+mod explain_analyze_tests {
+    use super::*;
+
+    #[test]
+    fn explain_analyze_reports_rows_per_operator() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let rows: Vec<Row> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+        db.insert_rows("t", rows).unwrap();
+        let text = db
+            .explain_analyze("SELECT a FROM t WHERE a < 10 ORDER BY a DESC")
+            .unwrap();
+        assert!(text.contains("Scan t"), "{text}");
+        assert!(text.contains("rows=100"), "scan emits all rows:\n{text}");
+        assert!(text.contains("rows=10"), "filter passes 10 rows:\n{text}");
+        assert!(text.contains("total output rows: 10"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_join_aggregate_shape() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE s (k INTEGER, v DOUBLE); \
+             INSERT INTO s VALUES (0, 1.0), (1, 2.0), (0, 3.0); \
+             CREATE TABLE g (k INTEGER, w DOUBLE); \
+             INSERT INTO g VALUES (0, 10.0), (1, 20.0);",
+        )
+        .unwrap();
+        let text = db
+            .explain_analyze(
+                "SELECT s.k, SUM(s.v * g.w) FROM s JOIN g ON s.k = g.k GROUP BY s.k",
+            )
+            .unwrap();
+        assert!(text.contains("Join"), "{text}");
+        assert!(text.contains("Aggregate"), "{text}");
+        assert!(text.contains("total output rows: 2"), "{text}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error taxonomy for the embedded engine.
+//!
+//! Every fallible public operation returns [`Result<T>`]. Errors are split by
+//! pipeline stage so callers (e.g. the Qymera translator, which generates SQL
+//! programmatically) can distinguish "the generated SQL is malformed" from
+//! "the engine ran out of its memory budget".
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Tokenizer-level failure (bad character, unterminated string, ...).
+    Lex { pos: usize, message: String },
+    /// Parser-level failure (unexpected token, missing clause, ...).
+    Parse { pos: usize, message: String },
+    /// Semantic analysis failure (unknown table/column, arity mismatch, ...).
+    Plan(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Runtime evaluation failure (division by zero, overflow, ...).
+    Eval(String),
+    /// Catalog-level failure (duplicate table, missing table, ...).
+    Catalog(String),
+    /// The configured memory budget cannot accommodate the operation even
+    /// after spilling to disk.
+    OutOfMemory { requested: usize, budget: usize },
+    /// Error from the spill-file layer.
+    Io(String),
+    /// Feature recognized but not supported by this engine.
+    Unsupported(String),
+}
+
+impl Error {
+    pub(crate) fn lex(pos: usize, message: impl Into<String>) -> Self {
+        Error::Lex { pos, message: message.into() }
+    }
+
+    pub(crate) fn parse(pos: usize, message: impl Into<String>) -> Self {
+        Error::Parse { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::OutOfMemory { requested, budget } => write!(
+                f,
+                "out of memory: requested {requested} bytes with budget {budget} bytes"
+            ),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_stage() {
+        let e = Error::parse(7, "expected SELECT");
+        assert_eq!(e.to_string(), "parse error at byte 7: expected SELECT");
+        let e = Error::OutOfMemory { requested: 10, budget: 5 };
+        assert!(e.to_string().contains("budget 5"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,658 @@
+//! Hash aggregation with recursive partition spilling.
+//!
+//! This operator carries Qymera's `GROUP BY` workload: every gate application
+//! is one aggregation over the joined state (Fig. 2c). For dense states the
+//! group table is the *entire next quantum state* (up to 2ⁿ groups), so the
+//! paper's out-of-core story (§3.3) lives or dies here. The implementation is
+//! a textbook hybrid hash/grace scheme:
+//!
+//! 1. **Consume**: aggregate input rows into an in-memory table. When the
+//!    memory reservation cannot grow, flush the table as *partial aggregate
+//!    rows* into 16 hash partitions on disk and keep going.
+//! 2. **Merge**: drain the in-memory table, then merge each spilled
+//!    partition; a partition that still does not fit re-partitions
+//!    recursively (depth-limited, with a depth-salted hash).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+use crate::expr::BoundExpr;
+use crate::plan::logical::{AggExpr, AggFunc};
+use crate::storage::budget::Reservation;
+use crate::storage::spill::{row_bytes, Row, SpillReader, SpillWriter};
+use crate::value::{GroupKey, Value};
+
+use super::{eval_values, ExecContext, RowStream};
+
+const PARTITIONS: usize = 16;
+const MAX_DEPTH: u32 = 4;
+
+/// Accumulator state for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Sum(Option<Value>),
+    Count(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+    /// DISTINCT aggregates keep the deduplicated inputs (in-memory only).
+    Distinct { func: AggFunc, seen: HashMap<GroupKey, Value> },
+}
+
+impl Acc {
+    fn new(agg: &AggExpr) -> Acc {
+        if agg.distinct {
+            return Acc::Distinct { func: agg.func, seen: HashMap::new() };
+        }
+        match agg.func {
+            AggFunc::Sum => Acc::Sum(None),
+            AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, arg: Option<Value>) -> Result<()> {
+        match self {
+            Acc::Sum(state) => {
+                let v = arg.expect("SUM requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                *state = Some(match state.take() {
+                    Some(cur) => cur.add(&v)?,
+                    None => v,
+                });
+            }
+            Acc::Count(n) => match arg {
+                // COUNT(*) — every row counts.
+                None => *n += 1,
+                Some(v) if !v.is_null() => *n += 1,
+                Some(_) => {}
+            },
+            Acc::Min(state) => {
+                let v = arg.expect("MIN requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match state {
+                    Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Less,
+                    None => true,
+                };
+                if replace {
+                    *state = Some(v);
+                }
+            }
+            Acc::Max(state) => {
+                let v = arg.expect("MAX requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match state {
+                    Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Greater,
+                    None => true,
+                };
+                if replace {
+                    *state = Some(v);
+                }
+            }
+            Acc::Avg { sum, count } => {
+                let v = arg.expect("AVG requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                *sum += v.as_f64()?;
+                *count += 1;
+            }
+            Acc::Distinct { seen, .. } => {
+                let v = arg.expect("DISTINCT aggregate requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                seen.entry(v.group_key()).or_insert(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of values this accumulator contributes to a partial-state row.
+    fn partial_arity(agg: &AggExpr) -> usize {
+        match agg.func {
+            AggFunc::Avg => 2,
+            _ => 1,
+        }
+    }
+
+    fn write_partial(&self, out: &mut Row) -> Result<()> {
+        match self {
+            Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => {
+                out.push(v.clone().unwrap_or(Value::Null))
+            }
+            Acc::Count(n) => out.push(Value::Int(*n)),
+            Acc::Avg { sum, count } => {
+                out.push(Value::Float(*sum));
+                out.push(Value::Int(*count));
+            }
+            Acc::Distinct { .. } => {
+                return Err(Error::Unsupported(
+                    "DISTINCT aggregate exceeded the memory budget (cannot spill)".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_partial(&mut self, vals: &[Value]) -> Result<()> {
+        match self {
+            Acc::Sum(state) => {
+                if !vals[0].is_null() {
+                    *state = Some(match state.take() {
+                        Some(cur) => cur.add(&vals[0])?,
+                        None => vals[0].clone(),
+                    });
+                }
+            }
+            Acc::Count(n) => *n += vals[0].as_i64()?,
+            Acc::Min(state) => {
+                if !vals[0].is_null() {
+                    let replace = match state {
+                        Some(cur) => vals[0].cmp_total(cur) == std::cmp::Ordering::Less,
+                        None => true,
+                    };
+                    if replace {
+                        *state = Some(vals[0].clone());
+                    }
+                }
+            }
+            Acc::Max(state) => {
+                if !vals[0].is_null() {
+                    let replace = match state {
+                        Some(cur) => vals[0].cmp_total(cur) == std::cmp::Ordering::Greater,
+                        None => true,
+                    };
+                    if replace {
+                        *state = Some(vals[0].clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, count } => {
+                *sum += vals[0].as_f64()?;
+                *count += vals[1].as_i64()?;
+            }
+            Acc::Distinct { .. } => {
+                return Err(Error::Unsupported("cannot merge DISTINCT partials".into()))
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Result<Value> {
+        Ok(match self {
+            Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Count(n) => Value::Int(n),
+            Acc::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            Acc::Distinct { func, seen } => match func {
+                AggFunc::Count => Value::Int(seen.len() as i64),
+                AggFunc::Sum => {
+                    let mut acc: Option<Value> = None;
+                    for v in seen.values() {
+                        acc = Some(match acc {
+                            Some(cur) => cur.add(v)?,
+                            None => v.clone(),
+                        });
+                    }
+                    acc.unwrap_or(Value::Null)
+                }
+                AggFunc::Avg => {
+                    if seen.is_empty() {
+                        Value::Null
+                    } else {
+                        let mut s = 0.0;
+                        for v in seen.values() {
+                            s += v.as_f64()?;
+                        }
+                        Value::Float(s / seen.len() as f64)
+                    }
+                }
+                AggFunc::Min => seen
+                    .values()
+                    .cloned()
+                    .min_by(|a, b| a.cmp_total(b))
+                    .unwrap_or(Value::Null),
+                AggFunc::Max => seen
+                    .values()
+                    .cloned()
+                    .max_by(|a, b| a.cmp_total(b))
+                    .unwrap_or(Value::Null),
+                AggFunc::CountStar => Value::Int(seen.len() as i64),
+            },
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Acc::Distinct { seen, .. } => {
+                48 + seen.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes() + 16).sum::<usize>()
+            }
+            _ => 48,
+        }
+    }
+}
+
+type GroupState = (Vec<Value>, Vec<Acc>); // (representative key values, accumulators)
+
+/// The aggregation operator.
+pub struct HashAggregate {
+    input: Option<Box<dyn RowStream>>,
+    group_by: Vec<BoundExpr>,
+    aggs: Vec<AggExpr>,
+    ctx: ExecContext,
+    reservation: Reservation,
+    state: State,
+}
+
+enum State {
+    /// Not yet executed.
+    Pending,
+    /// Producing output.
+    Draining {
+        current: std::vec::IntoIter<GroupState>,
+        /// Spilled partitions still to merge (reader, depth).
+        pending: Vec<(SpillReader, u32)>,
+    },
+    Done,
+}
+
+impl HashAggregate {
+    pub fn new(
+        input: Box<dyn RowStream>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Self {
+        let reservation = Reservation::empty(&ctx.budget);
+        HashAggregate {
+            input: Some(input),
+            group_by,
+            aggs,
+            ctx,
+            reservation,
+            state: State::Pending,
+        }
+    }
+
+    fn keys_of(reps: &[Value]) -> Vec<GroupKey> {
+        reps.iter().map(Value::group_key).collect()
+    }
+
+    fn entry_bytes(reps: &[Value], accs: &[Acc]) -> usize {
+        row_bytes(reps) + accs.iter().map(Acc::heap_bytes).sum::<usize>() + 64
+    }
+
+    fn partition_of(keys: &[GroupKey], depth: u32) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Salt by depth so recursive re-partitioning actually redistributes.
+        (0x9e3779b97f4a7c15u64 ^ u64::from(depth)).hash(&mut h);
+        keys.hash(&mut h);
+        (h.finish() as usize) % PARTITIONS
+    }
+
+    /// Flush the in-memory table into partition spill files as partial rows.
+    fn flush(
+        &mut self,
+        map: &mut HashMap<Vec<GroupKey>, GroupState>,
+        writers: &mut Option<Vec<SpillWriter>>,
+        depth: u32,
+    ) -> Result<()> {
+        if writers.is_none() {
+            let mut ws = Vec::with_capacity(PARTITIONS);
+            for _ in 0..PARTITIONS {
+                ws.push(SpillWriter::create(&self.ctx.spill)?);
+            }
+            *writers = Some(ws);
+        }
+        let ws = writers.as_mut().expect("just initialized");
+        for (keys, (reps, accs)) in map.drain() {
+            let mut row = reps;
+            for a in &accs {
+                a.write_partial(&mut row)?;
+            }
+            ws[Self::partition_of(&keys, depth)].write_row(&row)?;
+        }
+        self.reservation.free();
+        Ok(())
+    }
+
+    /// Phase 1: consume the input stream.
+    fn consume(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("consume called twice");
+        let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+        let mut saw_rows = false;
+
+        while let Some(row) = input.next_row()? {
+            saw_rows = true;
+            let reps = eval_values(&self.group_by, &row)?;
+            let keys = Self::keys_of(&reps);
+            // Evaluate aggregate arguments before taking the map entry.
+            let mut args = Vec::with_capacity(self.aggs.len());
+            for agg in &self.aggs {
+                args.push(match &agg.arg {
+                    Some(e) => Some(e.eval(&row)?),
+                    None => None,
+                });
+            }
+            let mut new_entry_bytes = None;
+            match map.entry(keys) {
+                Entry::Occupied(mut e) => {
+                    let (_, accs) = e.get_mut();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    let mut accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                    new_entry_bytes = Some(Self::entry_bytes(&reps, &accs));
+                    e.insert((reps, accs));
+                }
+            }
+            if let Some(bytes) = new_entry_bytes {
+                if !self.reservation.try_grow(bytes) {
+                    // Budget exhausted: spill the whole table (including the
+                    // entry just inserted — partials merge in phase 2).
+                    self.flush(&mut map, &mut writers, 0)?;
+                }
+            }
+        }
+
+        // Global aggregate over empty input produces one all-default row.
+        if !saw_rows && self.group_by.is_empty() {
+            let accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
+            map.insert(Vec::new(), (Vec::new(), accs));
+        }
+
+        let mut pending = Vec::new();
+        if writers.is_some() {
+            // Route the residue through the partitions as well, so phase 2
+            // sees every group exactly once per partition.
+            self.flush(&mut map, &mut writers, 0)?;
+            for w in writers.expect("writers present") {
+                if w.rows() > 0 {
+                    pending.push((w.into_reader()?, 1));
+                }
+            }
+        }
+        let groups: Vec<GroupState> = map.into_values().collect();
+        self.state = State::Draining { current: groups.into_iter(), pending };
+        Ok(())
+    }
+
+    /// Merge one spilled partition of partial rows; partitions that still
+    /// exceed the budget re-partition one level deeper (depth-salted hash).
+    fn merge_partition(&mut self, mut reader: SpillReader, depth: u32) -> Result<()> {
+        let arities: Vec<usize> = self.aggs.iter().map(Acc::partial_arity).collect();
+        let k = self.group_by.len();
+        let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+
+        while let Some(row) = reader.next_row()? {
+            let reps: Vec<Value> = row[..k].to_vec();
+            let keys = Self::keys_of(&reps);
+            let is_new = !map.contains_key(&keys);
+            let (_, accs) = map
+                .entry(keys)
+                .or_insert_with(|| (reps, self.aggs.iter().map(Acc::new).collect()));
+            let mut pos = k;
+            for (acc, &arity) in accs.iter_mut().zip(&arities) {
+                acc.merge_partial(&row[pos..pos + arity])?;
+                pos += arity;
+            }
+            if is_new {
+                // Estimate with a fresh accumulator set (cheap, avoids
+                // re-borrowing the entry).
+                let est = row_bytes(&row) + 64 + 48 * self.aggs.len();
+                if !self.reservation.try_grow(est) {
+                    if depth >= MAX_DEPTH {
+                        // A partition at maximum depth is 16^MAX_DEPTH-fold
+                        // smaller than the input; rather than fail when other
+                        // pipeline operators hold the budget, finish it with
+                        // a bounded uncharged working set.
+                        continue;
+                    }
+                    self.flush(&mut map, &mut writers, depth)?;
+                }
+            }
+        }
+
+        let mut extra_pending = Vec::new();
+        if writers.is_some() {
+            self.flush(&mut map, &mut writers, depth)?;
+            for w in writers.expect("writers present") {
+                if w.rows() > 0 {
+                    extra_pending.push((w.into_reader()?, depth + 1));
+                }
+            }
+        }
+        let groups: Vec<GroupState> = map.into_values().collect();
+        let State::Draining { current, pending } = &mut self.state else {
+            unreachable!("merge_partition outside draining state");
+        };
+        *current = groups.into_iter();
+        pending.extend(extra_pending);
+        Ok(())
+    }
+
+    fn finalize_group(&mut self, (reps, accs): GroupState) -> Result<Row> {
+        // Release this entry's memory as it leaves the operator, so
+        // downstream operators (e.g. the final sort) can reserve it —
+        // otherwise deep CTE pipelines starve under tight shared budgets.
+        self.reservation.shrink(Self::entry_bytes(&reps, &accs));
+        let mut row = reps;
+        row.reserve(accs.len());
+        for a in accs {
+            row.push(a.finalize()?);
+        }
+        Ok(row)
+    }
+}
+
+impl RowStream for HashAggregate {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            enum Step {
+                Consume,
+                Emit(GroupState),
+                Merge(SpillReader, u32),
+                Finish,
+                Done,
+            }
+            let step = match &mut self.state {
+                State::Pending => Step::Consume,
+                State::Draining { current, pending } => match current.next() {
+                    Some(group) => Step::Emit(group),
+                    None => match pending.pop() {
+                        Some((reader, depth)) => Step::Merge(reader, depth),
+                        None => Step::Finish,
+                    },
+                },
+                State::Done => Step::Done,
+            };
+            match step {
+                Step::Consume => self.consume()?,
+                Step::Emit(group) => return Ok(Some(self.finalize_group(group)?)),
+                Step::Merge(reader, depth) => {
+                    self.reservation.free();
+                    self.merge_partition(reader, depth)?;
+                }
+                Step::Finish => {
+                    self.reservation.free();
+                    self.state = State::Done;
+                }
+                Step::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+
+    fn sum_agg(col: usize) -> AggExpr {
+        AggExpr { func: AggFunc::Sum, arg: Some(BoundExpr::Column(col)), distinct: false }
+    }
+
+    fn count_star() -> AggExpr {
+        AggExpr { func: AggFunc::CountStar, arg: None, distinct: false }
+    }
+
+    fn run(
+        rows: Vec<Row>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Vec<Row> {
+        let agg = HashAggregate::new(stream_of(rows), group_by, aggs, ctx);
+        let mut out = drain(Box::new(agg)).unwrap();
+        out.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        out
+    }
+
+    fn pairs(data: &[(i64, f64)]) -> Vec<Row> {
+        data.iter().map(|&(k, v)| vec![Value::Int(k), Value::Float(v)]).collect()
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let rows = pairs(&[(1, 0.5), (2, 1.0), (1, 0.25), (2, -1.0)]);
+        let out = run(
+            rows,
+            vec![BoundExpr::Column(0)],
+            vec![sum_agg(1), count_star()],
+            ctx(),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::Int(1), Value::Float(0.75), Value::Int(2)]);
+        assert_eq!(out[1], vec![Value::Int(2), Value::Float(0.0), Value::Int(2)]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let out = run(vec![], vec![], vec![sum_agg(0), count_star()], ctx());
+        assert_eq!(out, vec![vec![Value::Null, Value::Int(0)]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let out = run(vec![], vec![BoundExpr::Column(0)], vec![count_star()], ctx());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let rows = pairs(&[(1, 3.0), (1, 1.0), (1, 2.0)]);
+        let aggs = vec![
+            AggExpr { func: AggFunc::Min, arg: Some(BoundExpr::Column(1)), distinct: false },
+            AggExpr { func: AggFunc::Max, arg: Some(BoundExpr::Column(1)), distinct: false },
+            AggExpr { func: AggFunc::Avg, arg: Some(BoundExpr::Column(1)), distinct: false },
+        ];
+        let out = run(rows, vec![BoundExpr::Column(0)], aggs, ctx());
+        assert_eq!(
+            out[0],
+            vec![Value::Int(1), Value::Float(1.0), Value::Float(3.0), Value::Float(2.0)]
+        );
+    }
+
+    #[test]
+    fn nulls_are_ignored_by_sum_and_count() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(1), Value::Float(2.0)],
+        ];
+        let aggs = vec![
+            sum_agg(1),
+            AggExpr { func: AggFunc::Count, arg: Some(BoundExpr::Column(1)), distinct: false },
+            count_star(),
+        ];
+        let out = run(rows, vec![BoundExpr::Column(0)], aggs, ctx());
+        assert_eq!(
+            out[0],
+            vec![Value::Int(1), Value::Float(2.0), Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let rows = pairs(&[(1, 2.0), (1, 2.0), (1, 3.0)]);
+        let aggs = vec![
+            AggExpr { func: AggFunc::Count, arg: Some(BoundExpr::Column(1)), distinct: true },
+            AggExpr { func: AggFunc::Sum, arg: Some(BoundExpr::Column(1)), distinct: true },
+        ];
+        let out = run(rows, vec![BoundExpr::Column(0)], aggs, ctx());
+        assert_eq!(out[0], vec![Value::Int(1), Value::Int(2), Value::Float(5.0)]);
+    }
+
+    #[test]
+    fn spill_path_produces_identical_results() {
+        // 10k groups with a budget small enough to force several flushes.
+        let rows: Vec<Row> = (0..40_000)
+            .map(|i| vec![Value::Int(i % 10_000), Value::Float(1.0)])
+            .collect();
+        let tight = ctx_with_budget(200 * 1024);
+        let spill_dir = tight.spill.clone();
+        let out = run(
+            rows.clone(),
+            vec![BoundExpr::Column(0)],
+            vec![sum_agg(1), count_star()],
+            tight,
+        );
+        assert!(spill_dir.files_created() > 0, "expected spilling to occur");
+        assert_eq!(out.len(), 10_000);
+        for row in &out {
+            assert_eq!(row[1], Value::Float(4.0));
+            assert_eq!(row[2], Value::Int(4));
+        }
+        // Same answer without any budget pressure.
+        let out2 = run(
+            rows,
+            vec![BoundExpr::Column(0)],
+            vec![sum_agg(1), count_star()],
+            ctx(),
+        );
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn group_key_unification_int_float() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.0)],
+            vec![Value::Float(1.0), Value::Float(2.0)],
+        ];
+        let out = run(rows, vec![BoundExpr::Column(0)], vec![sum_agg(1)], ctx());
+        assert_eq!(out.len(), 1, "Int(1) and Float(1.0) group together");
+        assert_eq!(out[0][1], Value::Float(3.0));
+    }
+
+    #[test]
+    fn sum_integer_stays_integer() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(1), Value::Int(3)],
+        ];
+        let out = run(rows, vec![BoundExpr::Column(0)], vec![sum_agg(1)], ctx());
+        assert_eq!(out[0][1], Value::Int(5));
+    }
+}

@@ -1,0 +1,408 @@
+//! Join operators: hash join (preferred) and nested-loop fallback.
+//!
+//! In Qymera's generated queries the build side is always a gate table with
+//! 2–16 rows, so the hash join build fits trivially in any realistic budget;
+//! the probe side (the quantum state) streams through unmaterialized. That
+//! asymmetry is exactly why the RDBMS approach scales on sparse circuits.
+
+use std::collections::HashMap;
+
+use crate::ast::JoinKind;
+use crate::error::{Error, Result};
+use crate::expr::BoundExpr;
+use crate::plan::optimizer::extract_equi_keys;
+use crate::storage::budget::Reservation;
+use crate::storage::spill::{row_bytes, Row};
+use crate::value::{GroupKey, Value};
+
+use super::{eval_keys, ExecContext, RowStream};
+
+/// Uncharged rows a join build side may hold when the shared budget is
+/// exhausted (the per-operator working-set floor).
+const BUILD_OVERDRAFT_ROWS: usize = 256;
+
+/// Choose a join strategy for the given condition.
+pub fn build_join(
+    left: Box<dyn RowStream>,
+    right: Box<dyn RowStream>,
+    left_cols: usize,
+    right_cols: usize,
+    kind: JoinKind,
+    on: Option<BoundExpr>,
+    ctx: &ExecContext,
+) -> Result<Box<dyn RowStream>> {
+    match kind {
+        JoinKind::Cross => Ok(Box::new(NestedLoopJoin::new(
+            left, right, right_cols, None, false, ctx,
+        )?)),
+        JoinKind::Inner | JoinKind::Left => {
+            let outer = kind == JoinKind::Left;
+            match on {
+                Some(cond) => {
+                    let (lk, rk, residual) = extract_equi_keys(cond, left_cols);
+                    if lk.is_empty() {
+                        Ok(Box::new(NestedLoopJoin::new(
+                            left, right, right_cols, residual, outer, ctx,
+                        )?))
+                    } else {
+                        Ok(Box::new(HashJoin::new(
+                            left, right, right_cols, lk, rk, residual, outer, ctx,
+                        )?))
+                    }
+                }
+                None => {
+                    if outer {
+                        return Err(Error::Unsupported(
+                            "LEFT JOIN requires an ON condition".into(),
+                        ));
+                    }
+                    Ok(Box::new(NestedLoopJoin::new(
+                        left, right, right_cols, None, false, ctx,
+                    )?))
+                }
+            }
+        }
+    }
+}
+
+/// Hash join: builds on the right input, probes with the left.
+struct HashJoin {
+    probe: Box<dyn RowStream>,
+    table: HashMap<Vec<GroupKey>, Vec<Row>>,
+    left_keys: Vec<BoundExpr>,
+    residual: Option<BoundExpr>,
+    outer: bool,
+    right_cols: usize,
+    /// Pending matches for the current probe row.
+    current: Option<(Row, Vec<Row>, usize, bool)>,
+    _reservation: Reservation,
+}
+
+impl HashJoin {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        probe: Box<dyn RowStream>,
+        mut build: Box<dyn RowStream>,
+        right_cols: usize,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        outer: bool,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        let mut table: HashMap<Vec<GroupKey>, Vec<Row>> = HashMap::new();
+        let mut reservation = Reservation::empty(&ctx.budget);
+        // Every operator is guaranteed a small uncharged working-set floor
+        // (cf. work_mem minimums in conventional engines); Qymera's build
+        // sides are gate tables of 2–64 rows, so they always fit the floor
+        // even when the shared budget is exhausted by the state pipeline.
+        let mut overdraft_rows = 0usize;
+        while let Some(row) = build.next_row()? {
+            let keys = eval_keys(&right_keys, &row)?;
+            // SQL semantics: NULL keys never match.
+            if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
+                continue;
+            }
+            let bytes = row_bytes(&row) + keys.iter().map(GroupKey::heap_bytes).sum::<usize>();
+            if !reservation.try_grow(bytes) {
+                overdraft_rows += 1;
+                if overdraft_rows > BUILD_OVERDRAFT_ROWS {
+                    return Err(Error::OutOfMemory {
+                        requested: bytes,
+                        budget: ctx.budget.limit(),
+                    });
+                }
+            }
+            table.entry(keys).or_default().push(row);
+        }
+        Ok(HashJoin {
+            probe,
+            table,
+            left_keys,
+            residual,
+            outer,
+            right_cols,
+            current: None,
+            _reservation: reservation,
+        })
+    }
+
+    fn combine(left: &Row, right: &Row) -> Row {
+        let mut out = Vec::with_capacity(left.len() + right.len());
+        out.extend(left.iter().cloned());
+        out.extend(right.iter().cloned());
+        out
+    }
+
+    fn null_padded(&self, left: &Row) -> Row {
+        let mut out = Vec::with_capacity(left.len() + self.right_cols);
+        out.extend(left.iter().cloned());
+        out.extend(std::iter::repeat_n(Value::Null, self.right_cols));
+        out
+    }
+}
+
+impl RowStream for HashJoin {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            // Drain pending matches for the current probe row.
+            if let Some((left, matches, idx, emitted)) = &mut self.current {
+                while *idx < matches.len() {
+                    let candidate = Self::combine(left, &matches[*idx]);
+                    *idx += 1;
+                    let pass = match &self.residual {
+                        Some(p) => p.eval(&candidate)?.as_bool()? == Some(true),
+                        None => true,
+                    };
+                    if pass {
+                        *emitted = true;
+                        return Ok(Some(candidate));
+                    }
+                }
+                let need_pad = self.outer && !*emitted;
+                let left_row = left.clone();
+                self.current = None;
+                if need_pad {
+                    return Ok(Some(self.null_padded(&left_row)));
+                }
+            }
+            // Advance the probe side.
+            let Some(left) = self.probe.next_row()? else { return Ok(None) };
+            let keys = eval_keys(&self.left_keys, &left)?;
+            let matches = if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
+                Vec::new()
+            } else {
+                self.table.get(&keys).cloned().unwrap_or_default()
+            };
+            if matches.is_empty() {
+                if self.outer {
+                    return Ok(Some(self.null_padded(&left)));
+                }
+                continue;
+            }
+            self.current = Some((left, matches, 0, false));
+        }
+    }
+}
+
+/// Nested-loop join: materializes the right side, scans it per probe row.
+struct NestedLoopJoin {
+    probe: Box<dyn RowStream>,
+    right_rows: Vec<Row>,
+    right_cols: usize,
+    condition: Option<BoundExpr>,
+    outer: bool,
+    current: Option<(Row, usize, bool)>,
+    _reservation: Reservation,
+}
+
+impl NestedLoopJoin {
+    fn new(
+        probe: Box<dyn RowStream>,
+        mut right: Box<dyn RowStream>,
+        right_cols: usize,
+        condition: Option<BoundExpr>,
+        outer: bool,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        let mut right_rows = Vec::new();
+        let mut reservation = Reservation::empty(&ctx.budget);
+        let mut overdraft_rows = 0usize;
+        while let Some(row) = right.next_row()? {
+            let bytes = row_bytes(&row);
+            if !reservation.try_grow(bytes) {
+                overdraft_rows += 1;
+                if overdraft_rows > BUILD_OVERDRAFT_ROWS {
+                    return Err(Error::OutOfMemory {
+                        requested: bytes,
+                        budget: ctx.budget.limit(),
+                    });
+                }
+            }
+            right_rows.push(row);
+        }
+        Ok(NestedLoopJoin {
+            probe,
+            right_rows,
+            right_cols,
+            condition,
+            outer,
+            current: None,
+            _reservation: reservation,
+        })
+    }
+}
+
+impl RowStream for NestedLoopJoin {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some((left, idx, emitted)) = &mut self.current {
+                while *idx < self.right_rows.len() {
+                    let right = &self.right_rows[*idx];
+                    *idx += 1;
+                    let mut candidate = Vec::with_capacity(left.len() + right.len());
+                    candidate.extend(left.iter().cloned());
+                    candidate.extend(right.iter().cloned());
+                    let pass = match &self.condition {
+                        Some(c) => c.eval(&candidate)?.as_bool()? == Some(true),
+                        None => true,
+                    };
+                    if pass {
+                        *emitted = true;
+                        return Ok(Some(candidate));
+                    }
+                }
+                let need_pad = self.outer && !*emitted;
+                let left_row = left.clone();
+                self.current = None;
+                if need_pad {
+                    let mut out = left_row;
+                    out.extend(std::iter::repeat_n(Value::Null, self.right_cols));
+                    return Ok(Some(out));
+                }
+            }
+            let Some(left) = self.probe.next_row()? else { return Ok(None) };
+            self.current = Some((left, 0, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::*;
+    use super::*;
+    use crate::ast::BinaryOp;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(i)
+    }
+
+    fn eq(a: BoundExpr, b: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { left: Box::new(a), op: BinaryOp::Eq, right: Box::new(b) }
+    }
+
+    fn rows2(pairs: &[(i64, i64)]) -> Vec<Row> {
+        pairs.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect()
+    }
+
+    #[test]
+    fn inner_hash_join_matches() {
+        // left(id, x) ⋈ right(id, y) on left.id = right.id
+        let left = stream_of(rows2(&[(1, 10), (2, 20), (3, 30)]));
+        let right = stream_of(rows2(&[(2, 200), (3, 300), (3, 301)]));
+        let j = build_join(left, right, 2, 2, JoinKind::Inner, Some(eq(col(0), col(2))), &ctx())
+            .unwrap();
+        let out = drain(j).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], vec![Value::Int(2), Value::Int(20), Value::Int(2), Value::Int(200)]);
+    }
+
+    #[test]
+    fn left_join_pads_with_nulls() {
+        let left = stream_of(rows2(&[(1, 10), (2, 20)]));
+        let right = stream_of(rows2(&[(2, 200)]));
+        let j = build_join(left, right, 2, 2, JoinKind::Left, Some(eq(col(0), col(2))), &ctx())
+            .unwrap();
+        let out = drain(j).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0][2].is_null() && out[0][3].is_null());
+        assert_eq!(out[1][3], Value::Int(200));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = stream_of(vec![vec![Value::Null, Value::Int(1)]]);
+        let right = stream_of(vec![vec![Value::Null, Value::Int(2)]]);
+        let j = build_join(left, right, 2, 2, JoinKind::Inner, Some(eq(col(0), col(2))), &ctx())
+            .unwrap();
+        assert!(drain(j).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_join_cartesian() {
+        let left = stream_of(int_rows(&[1, 2]));
+        let right = stream_of(int_rows(&[10, 20, 30]));
+        let j = build_join(left, right, 1, 1, JoinKind::Cross, None, &ctx()).unwrap();
+        assert_eq!(drain(j).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn non_equi_condition_uses_nested_loop() {
+        let left = stream_of(int_rows(&[1, 2, 3]));
+        let right = stream_of(int_rows(&[2]));
+        let cond = BoundExpr::Binary {
+            left: Box::new(col(0)),
+            op: BinaryOp::Gt,
+            right: Box::new(col(1)),
+        };
+        let j = build_join(left, right, 1, 1, JoinKind::Inner, Some(cond), &ctx()).unwrap();
+        let out = drain(j).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(3), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn residual_predicate_after_key_match() {
+        // ON a.id = b.id AND a.x > 15
+        let left = stream_of(rows2(&[(1, 10), (1, 20)]));
+        let right = stream_of(rows2(&[(1, 100)]));
+        let cond = BoundExpr::Binary {
+            left: Box::new(eq(col(0), col(2))),
+            op: BinaryOp::And,
+            right: Box::new(BoundExpr::Binary {
+                left: Box::new(col(1)),
+                op: BinaryOp::Gt,
+                right: Box::new(BoundExpr::Literal(Value::Int(15))),
+            }),
+        };
+        let j = build_join(left, right, 2, 2, JoinKind::Inner, Some(cond), &ctx()).unwrap();
+        let out = drain(j).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][1], Value::Int(20));
+    }
+
+    #[test]
+    fn small_build_side_survives_tiny_budget_via_floor() {
+        // 100 build rows fit the per-operator working-set floor even when
+        // the shared budget is exhausted.
+        let left = stream_of(int_rows(&[1]));
+        let right = stream_of(int_rows(&(0..100).collect::<Vec<_>>()));
+        let j = build_join(
+            left,
+            right,
+            1,
+            1,
+            JoinKind::Inner,
+            Some(eq(col(0), col(1))),
+            &ctx_with_budget(128),
+        )
+        .unwrap();
+        assert_eq!(drain(j).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn build_side_over_budget_and_floor_errors() {
+        // Beyond the floor (256 rows), the budget is enforced.
+        let left = stream_of(int_rows(&[1]));
+        let right = stream_of(int_rows(&(0..1000).collect::<Vec<_>>()));
+        let res = build_join(
+            left,
+            right,
+            1,
+            1,
+            JoinKind::Inner,
+            Some(eq(col(0), col(1))),
+            &ctx_with_budget(128),
+        );
+        assert!(matches!(res, Err(Error::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn mixed_int_float_keys_join() {
+        // Int 2 on the left matches Float 2.0 on the right (group_key unifies)
+        let left = stream_of(vec![vec![Value::Int(2)]]);
+        let right = stream_of(vec![vec![Value::Float(2.0)]]);
+        let j = build_join(left, right, 1, 1, JoinKind::Inner, Some(eq(col(0), col(1))), &ctx())
+            .unwrap();
+        assert_eq!(drain(j).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,627 @@
+//! Bound (column-resolved) expressions and their evaluation.
+//!
+//! The planner rewrites AST expressions into [`BoundExpr`] where every column
+//! reference is an index into the input row. Aggregates never reach this
+//! layer — the planner replaces them with column references into the
+//! aggregation operator's output before binding.
+
+use crate::ast::{self, BinaryOp, DataType, Expr, Literal, UnaryOp};
+use crate::error::{Error, Result};
+use crate::schema::RelSchema;
+use crate::storage::spill::Row;
+use crate::value::Value;
+
+/// Scalar (non-aggregate) built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    Abs,
+    Sqrt,
+    Pow,
+    Floor,
+    Ceil,
+    Round,
+    Cos,
+    Sin,
+    Exp,
+    Ln,
+    Sign,
+    Coalesce,
+    Length,
+    Upper,
+    Lower,
+    /// `SUBSTR(text, start, len)` — 1-based, like SQLite.
+    Substr,
+    /// `CONCAT(a, b, …)` — string concatenation.
+    Concat,
+}
+
+impl ScalarFunc {
+    fn by_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "ABS" => ScalarFunc::Abs,
+            "SQRT" => ScalarFunc::Sqrt,
+            "POW" | "POWER" => ScalarFunc::Pow,
+            "FLOOR" => ScalarFunc::Floor,
+            "CEIL" | "CEILING" => ScalarFunc::Ceil,
+            "ROUND" => ScalarFunc::Round,
+            "COS" => ScalarFunc::Cos,
+            "SIN" => ScalarFunc::Sin,
+            "EXP" => ScalarFunc::Exp,
+            "LN" | "LOG" => ScalarFunc::Ln,
+            "SIGN" => ScalarFunc::Sign,
+            "COALESCE" => ScalarFunc::Coalesce,
+            "LENGTH" => ScalarFunc::Length,
+            "UPPER" => ScalarFunc::Upper,
+            "LOWER" => ScalarFunc::Lower,
+            "SUBSTR" | "SUBSTRING" => ScalarFunc::Substr,
+            "CONCAT" => ScalarFunc::Concat,
+            _ => return None,
+        })
+    }
+
+    fn arity_ok(&self, n: usize) -> bool {
+        match self {
+            ScalarFunc::Pow => n == 2,
+            ScalarFunc::Round => n == 1 || n == 2,
+            ScalarFunc::Coalesce => n >= 1,
+            ScalarFunc::Substr => n == 2 || n == 3,
+            ScalarFunc::Concat => n >= 1,
+            _ => n == 1,
+        }
+    }
+}
+
+/// Column-resolved expression ready for evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    Literal(Value),
+    Column(usize),
+    Unary { op: UnaryOp, expr: Box<BoundExpr> },
+    Binary { left: Box<BoundExpr>, op: BinaryOp, right: Box<BoundExpr> },
+    ScalarFn { func: ScalarFunc, args: Vec<BoundExpr> },
+    Cast { expr: Box<BoundExpr>, ty: DataType },
+    IsNull { expr: Box<BoundExpr>, negated: bool },
+    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
+    Case {
+        operand: Option<Box<BoundExpr>>,
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_branch: Option<Box<BoundExpr>>,
+    },
+}
+
+/// Convert an AST literal to a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Big(b) => Value::Big(b.clone()),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Int(*b as i64),
+    }
+}
+
+/// Bind `expr` against `schema`, resolving column references to indices.
+pub fn bind(expr: &Expr, schema: &RelSchema) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
+        Expr::Column { table, name } => {
+            BoundExpr::Column(schema.resolve(table.as_deref(), name)?)
+        }
+        Expr::Unary { op, expr } => BoundExpr::Unary {
+            op: *op,
+            expr: Box::new(bind(expr, schema)?),
+        },
+        Expr::Binary { left, op, right } => BoundExpr::Binary {
+            left: Box::new(bind(left, schema)?),
+            op: *op,
+            right: Box::new(bind(right, schema)?),
+        },
+        Expr::Function { name, args, distinct } => {
+            if ast::is_aggregate_name(name) {
+                return Err(Error::Plan(format!(
+                    "aggregate `{name}` is not allowed in this context"
+                )));
+            }
+            if *distinct {
+                return Err(Error::Plan("DISTINCT on a scalar function".into()));
+            }
+            let func = ScalarFunc::by_name(name)
+                .ok_or_else(|| Error::Plan(format!("unknown function `{name}`")))?;
+            if !func.arity_ok(args.len()) {
+                return Err(Error::Plan(format!(
+                    "wrong number of arguments to `{name}`: {}",
+                    args.len()
+                )));
+            }
+            BoundExpr::ScalarFn {
+                func,
+                args: args.iter().map(|a| bind(a, schema)).collect::<Result<_>>()?,
+            }
+        }
+        Expr::Star => return Err(Error::Plan("`*` is not a scalar expression".into())),
+        Expr::Cast { expr, ty } => BoundExpr::Cast {
+            expr: Box::new(bind(expr, schema)?),
+            ty: *ty,
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(bind(expr, schema)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(bind(expr, schema)?),
+            list: list.iter().map(|e| bind(e, schema)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_branch } => BoundExpr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(bind(o, schema)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(c, r)| Ok((bind(c, schema)?, bind(r, schema)?)))
+                .collect::<Result<_>>()?,
+            else_branch: match else_branch {
+                Some(e) => Some(Box::new(bind(e, schema)?)),
+                None => None,
+            },
+        },
+        Expr::Paren(inner) => bind(inner, schema)?,
+    })
+}
+
+impl BoundExpr {
+    /// Evaluate against one input row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Column(i) => Ok(row[*i].clone()),
+            BoundExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::BitNot => v.bit_not(),
+                    UnaryOp::Not => match v.as_bool()? {
+                        None => Ok(Value::Null),
+                        Some(b) => Ok(Value::Int(!b as i64)),
+                    },
+                }
+            }
+            BoundExpr::Binary { left, op, right } => eval_binary(left, *op, right, row),
+            BoundExpr::ScalarFn { func, args } => eval_scalar_fn(*func, args, row),
+            BoundExpr::Cast { expr, ty } => cast_value(expr.eval(row)?, *ty),
+            BoundExpr::IsNull { expr, negated } => {
+                let isnull = expr.eval(row)?.is_null();
+                Ok(Value::Int((isnull != *negated) as i64))
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v == iv {
+                        return Ok(Value::Int(!*negated as i64));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(*negated as i64))
+                }
+            }
+            BoundExpr::Case { operand, branches, else_branch } => {
+                for (cond, result) in branches {
+                    let fire = match operand {
+                        Some(op) => {
+                            let lhs = op.eval(row)?;
+                            let rhs = cond.eval(row)?;
+                            !lhs.is_null() && !rhs.is_null() && lhs == rhs
+                        }
+                        None => cond.eval(row)?.as_bool()? == Some(true),
+                    };
+                    if fire {
+                        return result.eval(row);
+                    }
+                }
+                match else_branch {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// True if the expression references no columns (safe to pre-evaluate).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            BoundExpr::Literal(_) => true,
+            BoundExpr::Column(_) => false,
+            BoundExpr::Unary { expr, .. } | BoundExpr::Cast { expr, .. } => expr.is_constant(),
+            BoundExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            BoundExpr::ScalarFn { args, .. } => args.iter().all(BoundExpr::is_constant),
+            BoundExpr::IsNull { expr, .. } => expr.is_constant(),
+            BoundExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(BoundExpr::is_constant)
+            }
+            BoundExpr::Case { operand, branches, else_branch } => {
+                operand.as_deref().is_none_or(BoundExpr::is_constant)
+                    && branches.iter().all(|(c, r)| c.is_constant() && r.is_constant())
+                    && else_branch.as_deref().is_none_or(BoundExpr::is_constant)
+            }
+        }
+    }
+
+    /// Collect all referenced column indices.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Column(i) => out.push(*i),
+            BoundExpr::Unary { expr, .. } | BoundExpr::Cast { expr, .. } => {
+                expr.referenced_columns(out)
+            }
+            BoundExpr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            BoundExpr::ScalarFn { args, .. } => {
+                args.iter().for_each(|a| a.referenced_columns(out))
+            }
+            BoundExpr::IsNull { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                list.iter().for_each(|e| e.referenced_columns(out));
+            }
+            BoundExpr::Case { operand, branches, else_branch } => {
+                if let Some(o) = operand {
+                    o.referenced_columns(out);
+                }
+                for (c, r) in branches {
+                    c.referenced_columns(out);
+                    r.referenced_columns(out);
+                }
+                if let Some(e) = else_branch {
+                    e.referenced_columns(out);
+                }
+            }
+        }
+    }
+}
+
+fn eval_binary(left: &BoundExpr, op: BinaryOp, right: &BoundExpr, row: &Row) -> Result<Value> {
+    // Short-circuit three-valued AND/OR.
+    match op {
+        BinaryOp::And => {
+            let l = left.eval(row)?.as_bool()?;
+            if l == Some(false) {
+                return Ok(Value::Int(0));
+            }
+            let r = right.eval(row)?.as_bool()?;
+            return Ok(match (l, r) {
+                (_, Some(false)) => Value::Int(0),
+                (Some(true), Some(true)) => Value::Int(1),
+                _ => Value::Null,
+            });
+        }
+        BinaryOp::Or => {
+            let l = left.eval(row)?.as_bool()?;
+            if l == Some(true) {
+                return Ok(Value::Int(1));
+            }
+            let r = right.eval(row)?.as_bool()?;
+            return Ok(match (l, r) {
+                (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let l = left.eval(row)?;
+    let r = right.eval(row)?;
+    match op {
+        BinaryOp::Add => l.add(&r),
+        BinaryOp::Sub => l.sub(&r),
+        BinaryOp::Mul => l.mul(&r),
+        BinaryOp::Div => l.div(&r),
+        BinaryOp::Mod => l.rem(&r),
+        BinaryOp::BitAnd => l.bit_and(&r),
+        BinaryOp::BitOr => l.bit_or(&r),
+        BinaryOp::BitXor => l.bit_xor(&r),
+        BinaryOp::Shl => l.shl(&r),
+        BinaryOp::Shr => l.shr(&r),
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        | BinaryOp::GtEq => {
+            let cmp = l.sql_cmp(&r)?;
+            Ok(match cmp {
+                None => Value::Null,
+                Some(ord) => {
+                    let b = match op {
+                        BinaryOp::Eq => ord == std::cmp::Ordering::Equal,
+                        BinaryOp::NotEq => ord != std::cmp::Ordering::Equal,
+                        BinaryOp::Lt => ord == std::cmp::Ordering::Less,
+                        BinaryOp::LtEq => ord != std::cmp::Ordering::Greater,
+                        BinaryOp::Gt => ord == std::cmp::Ordering::Greater,
+                        BinaryOp::GtEq => ord != std::cmp::Ordering::Less,
+                        _ => unreachable!(),
+                    };
+                    Value::Int(b as i64)
+                }
+            })
+        }
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn eval_scalar_fn(func: ScalarFunc, args: &[BoundExpr], row: &Row) -> Result<Value> {
+    // COALESCE must not eagerly error on later args.
+    if func == ScalarFunc::Coalesce {
+        for a in args {
+            let v = a.eval(row)?;
+            if !v.is_null() {
+                return Ok(v);
+            }
+        }
+        return Ok(Value::Null);
+    }
+    let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+    if vals.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    Ok(match func {
+        ScalarFunc::Abs => match &vals[0] {
+            Value::Int(i) => Value::Int(i.checked_abs().ok_or_else(|| {
+                Error::Eval("integer overflow in ABS".into())
+            })?),
+            v => Value::Float(v.as_f64()?.abs()),
+        },
+        ScalarFunc::Sqrt => Value::Float(vals[0].as_f64()?.sqrt()),
+        ScalarFunc::Pow => Value::Float(vals[0].as_f64()?.powf(vals[1].as_f64()?)),
+        ScalarFunc::Floor => Value::Float(vals[0].as_f64()?.floor()),
+        ScalarFunc::Ceil => Value::Float(vals[0].as_f64()?.ceil()),
+        ScalarFunc::Round => {
+            let x = vals[0].as_f64()?;
+            let d = if vals.len() == 2 { vals[1].as_i64()? } else { 0 };
+            let m = 10f64.powi(d as i32);
+            Value::Float((x * m).round() / m)
+        }
+        ScalarFunc::Cos => Value::Float(vals[0].as_f64()?.cos()),
+        ScalarFunc::Sin => Value::Float(vals[0].as_f64()?.sin()),
+        ScalarFunc::Exp => Value::Float(vals[0].as_f64()?.exp()),
+        ScalarFunc::Ln => Value::Float(vals[0].as_f64()?.ln()),
+        ScalarFunc::Sign => Value::Int(match vals[0].as_f64()? {
+            x if x > 0.0 => 1,
+            x if x < 0.0 => -1,
+            _ => 0,
+        }),
+        ScalarFunc::Length => match &vals[0] {
+            Value::Str(s) => Value::Int(s.chars().count() as i64),
+            v => return Err(Error::Type(format!("LENGTH expects TEXT, got {}", v.type_name()))),
+        },
+        ScalarFunc::Upper => match &vals[0] {
+            Value::Str(s) => Value::Str(s.to_uppercase()),
+            v => return Err(Error::Type(format!("UPPER expects TEXT, got {}", v.type_name()))),
+        },
+        ScalarFunc::Lower => match &vals[0] {
+            Value::Str(s) => Value::Str(s.to_lowercase()),
+            v => return Err(Error::Type(format!("LOWER expects TEXT, got {}", v.type_name()))),
+        },
+        ScalarFunc::Substr => {
+            let Value::Str(s) = &vals[0] else {
+                return Err(Error::Type(format!(
+                    "SUBSTR expects TEXT, got {}",
+                    vals[0].type_name()
+                )));
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let start = vals[1].as_i64()?.max(1) as usize - 1;
+            let len = if vals.len() == 3 {
+                vals[2].as_i64()?.max(0) as usize
+            } else {
+                chars.len().saturating_sub(start)
+            };
+            let end = (start + len).min(chars.len());
+            let out: String = chars.get(start.min(chars.len())..end).unwrap_or(&[]).iter().collect();
+            Value::Str(out)
+        }
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for v in &vals {
+                match v {
+                    Value::Str(s) => out.push_str(s),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            Value::Str(out)
+        }
+        ScalarFunc::Coalesce => unreachable!("handled above"),
+    })
+}
+
+/// Runtime CAST semantics (more permissive than column coercion: parses
+/// strings, truncates floats).
+pub fn cast_value(v: Value, ty: DataType) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(match (ty, &v) {
+        (DataType::Integer, Value::Int(_)) => v,
+        (DataType::Integer, Value::Float(f)) => Value::Int(*f as i64),
+        (DataType::Integer, Value::Str(s)) => Value::Int(
+            s.trim()
+                .parse::<i64>()
+                .map_err(|_| Error::Eval(format!("cannot cast '{s}' to INTEGER")))?,
+        ),
+        (DataType::Integer, Value::Big(b)) => Value::Int(
+            b.to_i64()
+                .ok_or_else(|| Error::Eval("HUGEINT out of INTEGER range".into()))?,
+        ),
+        (DataType::HugeInt, Value::Int(i)) if *i >= 0 => {
+            Value::Big(crate::bigbits::BigBits::from_u64(*i as u64, 64))
+        }
+        (DataType::HugeInt, Value::Big(_)) => v,
+        (DataType::Double, Value::Float(_)) => v,
+        (DataType::Double, _) => Value::Float(v.as_f64()?),
+        (DataType::Text, Value::Str(_)) => v,
+        (DataType::Text, other) => Value::Str(other.to_string()),
+        (ty, v) => {
+            return Err(Error::Eval(format!("cannot cast {} to {}", v.type_name(), ty)))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::schema::{Field, RelSchema};
+
+    fn schema() -> RelSchema {
+        RelSchema::new(vec![
+            Field::new(Some("t"), "s"),
+            Field::new(Some("t"), "r"),
+            Field::new(Some("t"), "i"),
+        ])
+    }
+
+    fn eval_with(sql: &str, row: Vec<Value>) -> Result<Value> {
+        let e = parse_expr(sql).unwrap();
+        let b = bind(&e, &schema())?;
+        b.eval(&row)
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(5), Value::Float(0.5), Value::Float(-0.25)]
+    }
+
+    #[test]
+    fn fig2_projection_expression() {
+        // ((T0.s & ~1) | out) with s=5, out=0 → 4
+        let v = eval_with("(s & ~1) | 0", row()).unwrap();
+        assert_eq!(v, Value::Int(4));
+    }
+
+    #[test]
+    fn complex_multiplication_expressions() {
+        // the complex product terms from Fig. 2c
+        let re = eval_with("(r * 2.0) - (i * 0.0)", row()).unwrap();
+        assert_eq!(re, Value::Float(1.0));
+        let im = eval_with("(r * 0.0) + (i * 2.0)", row()).unwrap();
+        assert_eq!(im, Value::Float(-0.5));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null_row = vec![Value::Null, Value::Float(0.5), Value::Null];
+        assert_eq!(eval_with("s = 1 OR 1 = 1", null_row.clone()).unwrap(), Value::Int(1));
+        assert!(eval_with("s = 1", null_row.clone()).unwrap().is_null());
+        assert_eq!(eval_with("s = 1 AND 1 = 0", null_row).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        assert_eq!(eval_with("s IS NULL", row()).unwrap(), Value::Int(0));
+        assert_eq!(eval_with("s IS NOT NULL", row()).unwrap(), Value::Int(1));
+        assert_eq!(eval_with("s IN (1, 5, 9)", row()).unwrap(), Value::Int(1));
+        assert_eq!(eval_with("s NOT IN (1, 9)", row()).unwrap(), Value::Int(1));
+        assert!(eval_with("s IN (1, NULL)", row()).unwrap().is_null());
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            eval_with("CASE WHEN s > 3 THEN 'big' ELSE 'small' END", row()).unwrap(),
+            Value::Str("big".into())
+        );
+        assert_eq!(
+            eval_with("CASE s WHEN 5 THEN 10 WHEN 6 THEN 20 END", row()).unwrap(),
+            Value::Int(10)
+        );
+        assert!(eval_with("CASE s WHEN 7 THEN 10 END", row()).unwrap().is_null());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval_with("ABS(-3)", row()).unwrap(), Value::Int(3));
+        assert_eq!(eval_with("SQRT(4.0)", row()).unwrap(), Value::Float(2.0));
+        assert_eq!(eval_with("POW(2, 10)", row()).unwrap(), Value::Float(1024.0));
+        assert_eq!(eval_with("ROUND(1.2345, 2)", row()).unwrap(), Value::Float(1.23));
+        assert_eq!(eval_with("COALESCE(NULL, NULL, 7)", row()).unwrap(), Value::Int(7));
+        assert_eq!(eval_with("LENGTH('abc')", row()).unwrap(), Value::Int(3));
+        assert_eq!(eval_with("SIGN(-2.5)", row()).unwrap(), Value::Int(-1));
+        assert_eq!(eval_with("UPPER('ab')", row()).unwrap(), Value::Str("AB".into()));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_with("CAST('42' AS INTEGER)", row()).unwrap(), Value::Int(42));
+        assert_eq!(eval_with("CAST(1.9 AS INTEGER)", row()).unwrap(), Value::Int(1));
+        assert_eq!(eval_with("CAST(5 AS TEXT)", row()).unwrap(), Value::Str("5".into()));
+        assert!(eval_with("CAST('nope' AS INTEGER)", row()).is_err());
+        assert!(matches!(eval_with("CAST(5 AS HUGEINT)", row()).unwrap(), Value::Big(_)));
+    }
+
+    #[test]
+    fn binder_rejects_aggregates_and_unknowns() {
+        let e = parse_expr("SUM(r)").unwrap();
+        assert!(bind(&e, &schema()).is_err());
+        let e = parse_expr("NOSUCHFN(r)").unwrap();
+        assert!(bind(&e, &schema()).is_err());
+        let e = parse_expr("nocolumn").unwrap();
+        assert!(bind(&e, &schema()).is_err());
+    }
+
+    #[test]
+    fn constant_detection_and_column_collection() {
+        let b = bind(&parse_expr("1 + 2 * 3").unwrap(), &schema()).unwrap();
+        assert!(b.is_constant());
+        assert_eq!(b.eval(&vec![]).unwrap(), Value::Int(7));
+        let b = bind(&parse_expr("s + r").unwrap(), &schema()).unwrap();
+        assert!(!b.is_constant());
+        let mut cols = Vec::new();
+        b.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn shift_precedence_evaluates_like_c() {
+        // 1 << 2 + 3 = 1 << 5 = 32
+        assert_eq!(eval_with("1 << 2 + 3", row()).unwrap(), Value::Int(32));
+        // a & 1 << 2 with s=5: 5 & 4 = 4
+        assert_eq!(eval_with("s & 1 << 2", row()).unwrap(), Value::Int(4));
+    }
+}
+
+#[cfg(test)]
+mod string_fn_tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::schema::RelSchema;
+
+    fn eval(sql: &str) -> Result<Value> {
+        bind(&parse_expr(sql).unwrap(), &RelSchema::default())?.eval(&vec![])
+    }
+
+    #[test]
+    fn substr_semantics() {
+        assert_eq!(eval("SUBSTR('010110', 2, 3)").unwrap(), Value::Str("101".into()));
+        assert_eq!(eval("SUBSTR('abc', 2)").unwrap(), Value::Str("bc".into()));
+        assert_eq!(eval("SUBSTR('abc', 1, 0)").unwrap(), Value::Str("".into()));
+        assert_eq!(eval("SUBSTR('abc', 9, 2)").unwrap(), Value::Str("".into()));
+        assert!(eval("SUBSTR(5, 1, 1)").is_err());
+    }
+
+    #[test]
+    fn concat_semantics() {
+        assert_eq!(eval("CONCAT('0', '1', '1')").unwrap(), Value::Str("011".into()));
+        assert_eq!(eval("CONCAT('p=', 1)").unwrap(), Value::Str("p=1".into()));
+        assert!(eval("CONCAT(NULL, 'x')").unwrap().is_null());
+    }
+}

@@ -1,0 +1,384 @@
+//! SQL tokenizer.
+//!
+//! Covers the dialect Qymera's translator emits (Fig. 2c of the paper) plus
+//! enough general SQL for hand-written queries in tests and examples.
+//! Notable inclusions: the bitwise operator set of Table 1 (`&`, `|`, `~`,
+//! `<<`, `>>`), `0x…` hexadecimal literals (which become `HUGEINT` when they
+//! exceed 63 bits), and `--`/`/* */` comments.
+
+use crate::bigbits::BigBits;
+use crate::error::{Error, Result};
+
+/// A lexical token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are lexed as `Ident` and matched case-insensitively
+/// by the parser, which keeps the lexer keyword-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    /// Integer literal too large for `i64` (decimal or hex) — HUGEINT.
+    BigInt(BigBits),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Tilde,
+    Caret,
+    Shl,
+    Shr,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::BigInt(_) => "huge integer literal".to_string(),
+            TokenKind::Float(f) => format!("float `{f}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Semicolon => ";",
+            TokenKind::Star => "*",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Tilde => "~",
+            TokenKind::Caret => "^",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Eq => "=",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::LtEq => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::GtEq => ">=",
+            _ => "?",
+        }
+    }
+}
+
+/// Tokenize `sql` fully. Returns tokens terminated by `Eof`.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::lex(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::lex(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' is an escaped quote
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let hs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(Error::lex(start, "empty hex literal"));
+                    }
+                    let hex = &sql[hs..i];
+                    let big = BigBits::from_hex(hex)
+                        .ok_or_else(|| Error::lex(start, "invalid hex literal"))?;
+                    match big.to_i64() {
+                        Some(v) if hex.len() <= 15 => {
+                            tokens.push(Token { kind: TokenKind::Int(v), pos: start })
+                        }
+                        _ => tokens.push(Token { kind: TokenKind::BigInt(big), pos: start }),
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j].is_ascii_digit() {
+                            is_float = true;
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &sql[start..i];
+                    if is_float {
+                        let f: f64 = text
+                            .parse()
+                            .map_err(|_| Error::lex(start, format!("invalid float `{text}`")))?;
+                        tokens.push(Token { kind: TokenKind::Float(f), pos: start });
+                    } else {
+                        match text.parse::<i64>() {
+                            Ok(v) => tokens.push(Token { kind: TokenKind::Int(v), pos: start }),
+                            Err(_) => {
+                                let big = BigBits::from_decimal(text).ok_or_else(|| {
+                                    Error::lex(start, format!("invalid integer `{text}`"))
+                                })?;
+                                tokens.push(Token { kind: TokenKind::BigInt(big), pos: start });
+                            }
+                        }
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            b'"' => {
+                // quoted identifier
+                let start = i;
+                i += 1;
+                let id_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::lex(start, "unterminated quoted identifier"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[id_start..i].to_string()),
+                    pos: start,
+                });
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() { &sql[i..i + 2] } else { "" };
+                let kind = match two {
+                    "<<" => Some((TokenKind::Shl, 2)),
+                    ">>" => Some((TokenKind::Shr, 2)),
+                    "<=" => Some((TokenKind::LtEq, 2)),
+                    ">=" => Some((TokenKind::GtEq, 2)),
+                    "!=" | "<>" => Some((TokenKind::NotEq, 2)),
+                    "==" => Some((TokenKind::Eq, 2)),
+                    _ => None,
+                };
+                let (kind, adv) = match kind {
+                    Some(k) => k,
+                    None => {
+                        let k = match c {
+                            b'(' => TokenKind::LParen,
+                            b')' => TokenKind::RParen,
+                            b',' => TokenKind::Comma,
+                            b'.' => TokenKind::Dot,
+                            b';' => TokenKind::Semicolon,
+                            b'*' => TokenKind::Star,
+                            b'+' => TokenKind::Plus,
+                            b'-' => TokenKind::Minus,
+                            b'/' => TokenKind::Slash,
+                            b'%' => TokenKind::Percent,
+                            b'&' => TokenKind::Amp,
+                            b'|' => TokenKind::Pipe,
+                            b'~' => TokenKind::Tilde,
+                            b'^' => TokenKind::Caret,
+                            b'=' => TokenKind::Eq,
+                            b'<' => TokenKind::Lt,
+                            b'>' => TokenKind::Gt,
+                            other => {
+                                return Err(Error::lex(
+                                    start,
+                                    format!("unexpected character `{}`", other as char),
+                                ))
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                tokens.push(Token { kind, pos: start });
+                i += adv;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn bitwise_operators_of_table1() {
+        let ks = kinds("a & b | ~c << 2 >> 1");
+        assert!(ks.contains(&TokenKind::Amp));
+        assert!(ks.contains(&TokenKind::Pipe));
+        assert!(ks.contains(&TokenKind::Tilde));
+        assert!(ks.contains(&TokenKind::Shl));
+        assert!(ks.contains(&TokenKind::Shr));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        assert_eq!(kinds("2.5E-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn oversized_decimal_becomes_bigint() {
+        let ks = kinds("99999999999999999999999999");
+        match &ks[0] {
+            TokenKind::BigInt(b) => assert_eq!(b.to_decimal(), "99999999999999999999999999"),
+            other => panic!("expected BigInt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xff")[0], TokenKind::Int(255));
+        match &kinds("0xffffffffffffffffff")[0] {
+            TokenKind::BigInt(b) => assert_eq!(b.bit_len(), 72),
+            other => panic!("expected BigInt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        let ks = kinds("SELECT -- trailing comment\n 1 /* block */ , 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("a <= b >= c <> d != e == f");
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::NotEq).count(), 2);
+        assert!(ks.contains(&TokenKind::LtEq));
+        assert!(ks.contains(&TokenKind::GtEq));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("\"weird name\"")[0], TokenKind::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        match tokenize("SELECT 'oops") {
+            Err(Error::Lex { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn fig2_query_fragment_tokenizes() {
+        // Straight from Fig. 2c of the paper.
+        let sql = "SELECT ((T0.s & ~1) | H.out_s) AS s FROM T0 JOIN H ON H.in_s = (T0.s & 1)";
+        let ks = kinds(sql);
+        assert!(ks.len() > 20);
+        assert!(ks.contains(&TokenKind::Tilde));
+    }
+}

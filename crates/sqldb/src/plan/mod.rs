@@ -1,0 +1,4 @@
+//! Query planning and optimization.
+
+pub mod logical;
+pub mod optimizer;

@@ -1,0 +1,4 @@
+//! Memory accounting and disk spill infrastructure.
+
+pub mod budget;
+pub mod spill;

@@ -1,0 +1,246 @@
+//! In-memory base tables.
+//!
+//! Row storage charges the shared [`MemoryBudget`], so base tables count
+//! toward the out-of-core experiment's limit exactly like operator state.
+//! Qymera's state tables (`T(s, r, i)`) and gate tables
+//! (`G(in_s, out_s, r, i)`) both live here.
+
+use std::sync::Arc;
+
+use crate::ast::DataType;
+use crate::error::{Error, Result};
+use crate::schema::{Field, RelSchema};
+use crate::storage::budget::MemoryBudget;
+use crate::storage::spill::{row_bytes, Row};
+use crate::value::Value;
+
+/// A base table: declared columns plus row storage.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    columns: Vec<(String, DataType)>,
+    /// Rows are shared with scans via `Arc` snapshots for cheap re-reads.
+    rows: Arc<Vec<Row>>,
+    bytes: usize,
+    budget: MemoryBudget,
+}
+
+impl Table {
+    pub fn new(name: &str, columns: Vec<(String, DataType)>, budget: MemoryBudget) -> Self {
+        Table {
+            name: name.to_string(),
+            columns,
+            rows: Arc::new(Vec::new()),
+            bytes: 0,
+            budget,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[(String, DataType)] {
+        &self.columns
+    }
+
+    /// Schema qualified by the table's own name.
+    pub fn schema(&self) -> RelSchema {
+        RelSchema::new(
+            self.columns
+                .iter()
+                .map(|(n, t)| Field::typed(Some(&self.name), n, *t))
+                .collect(),
+        )
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bytes this table holds against the budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Cheap snapshot for scans (copy-on-write with inserts).
+    pub fn snapshot(&self) -> Arc<Vec<Row>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Validate and coerce a row to the declared column types.
+    pub fn coerce_row(&self, row: Vec<Value>) -> Result<Row> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Plan(format!(
+                "table `{}` expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(self.columns.iter())
+            .map(|(v, (cname, ty))| coerce(v, *ty).map_err(|e| match e {
+                Error::Type(m) => Error::Type(format!("column `{cname}`: {m}")),
+                other => other,
+            }))
+            .collect()
+    }
+
+    /// Append rows (already coerced), charging the memory budget.
+    pub fn insert_rows(&mut self, rows: Vec<Row>) -> Result<()> {
+        let added: usize = rows.iter().map(|r| row_bytes(r)).sum();
+        if !self.budget.try_reserve(added) {
+            return Err(Error::OutOfMemory {
+                requested: added,
+                budget: self.budget.limit(),
+            });
+        }
+        let storage = Arc::make_mut(&mut self.rows);
+        storage.extend(rows);
+        self.bytes += added;
+        Ok(())
+    }
+
+    /// Delete rows matching `pred`; returns the number removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> Result<bool>) -> Result<usize> {
+        let storage = Arc::make_mut(&mut self.rows);
+        let before = storage.len();
+        let mut err = None;
+        let mut freed = 0usize;
+        storage.retain(|row| {
+            if err.is_some() {
+                return true;
+            }
+            match pred(row) {
+                Ok(true) => {
+                    freed += row_bytes(row);
+                    false
+                }
+                Ok(false) => true,
+                Err(e) => {
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.budget.release(freed);
+        self.bytes -= freed;
+        Ok(before - storage.len())
+    }
+
+    /// Release all budget held by this table (called when dropped from the
+    /// catalog; `Drop` can't do it because snapshots may outlive the table).
+    pub fn release_budget(&mut self) {
+        self.budget.release(self.bytes);
+        self.bytes = 0;
+        self.rows = Arc::new(Vec::new());
+    }
+}
+
+/// Coerce a value to a column type (lossless widenings only).
+pub fn coerce(v: Value, ty: DataType) -> Result<Value> {
+    match (ty, v) {
+        (_, Value::Null) => Ok(Value::Null),
+        (DataType::Integer, Value::Int(i)) => Ok(Value::Int(i)),
+        (DataType::Integer, Value::Float(f)) if f.fract() == 0.0 && f.abs() < 9.2e18 => {
+            Ok(Value::Int(f as i64))
+        }
+        (DataType::Integer, Value::Big(b)) => b
+            .to_i64()
+            .map(Value::Int)
+            .ok_or_else(|| Error::Type("HUGEINT value does not fit INTEGER".into())),
+        (DataType::HugeInt, Value::Int(i)) if i >= 0 => {
+            Ok(Value::Big(crate::bigbits::BigBits::from_u64(i as u64, 64)))
+        }
+        (DataType::HugeInt, Value::Big(b)) => Ok(Value::Big(b)),
+        (DataType::Double, Value::Float(f)) => Ok(Value::Float(f)),
+        (DataType::Double, Value::Int(i)) => Ok(Value::Float(i as f64)),
+        (DataType::Text, Value::Str(s)) => Ok(Value::Str(s)),
+        (ty, v) => Err(Error::Type(format!("cannot store {} in {} column", v.type_name(), ty))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_table(budget: MemoryBudget) -> Table {
+        Table::new(
+            "T0",
+            vec![
+                ("s".into(), DataType::Integer),
+                ("r".into(), DataType::Double),
+                ("i".into(), DataType::Double),
+            ],
+            budget,
+        )
+    }
+
+    #[test]
+    fn insert_and_snapshot() {
+        let mut t = state_table(MemoryBudget::unlimited());
+        let row = t.coerce_row(vec![Value::Int(0), Value::Int(1), Value::Float(0.0)]).unwrap();
+        // int 1 coerced to float for the DOUBLE column
+        assert_eq!(row[1], Value::Float(1.0));
+        t.insert_rows(vec![row]).unwrap();
+        assert_eq!(t.row_count(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn budget_enforced_on_insert() {
+        let budget = MemoryBudget::with_limit(64);
+        let mut t = state_table(budget);
+        let row = vec![Value::Int(0), Value::Float(1.0), Value::Float(0.0)];
+        let e = t.insert_rows(vec![row.clone(), row]).unwrap_err();
+        assert!(matches!(e, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn delete_releases_budget() {
+        let budget = MemoryBudget::unlimited();
+        let mut t = state_table(budget.clone());
+        for s in 0..10 {
+            let row = t.coerce_row(vec![Value::Int(s), Value::Float(1.0), Value::Float(0.0)])
+                .unwrap();
+            t.insert_rows(vec![row]).unwrap();
+        }
+        let used_before = budget.used();
+        let n = t.delete_where(|r| Ok(matches!(r[0], Value::Int(v) if v < 5))).unwrap();
+        assert_eq!(n, 5);
+        assert!(budget.used() < used_before);
+        assert_eq!(t.row_count(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_copy_on_write() {
+        let mut t = state_table(MemoryBudget::unlimited());
+        let row = t.coerce_row(vec![Value::Int(0), Value::Float(1.0), Value::Float(0.0)]).unwrap();
+        t.insert_rows(vec![row.clone()]).unwrap();
+        let snap = t.snapshot();
+        t.insert_rows(vec![row]).unwrap();
+        assert_eq!(snap.len(), 1, "old snapshot unchanged");
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert!(coerce(Value::Str("x".into()), DataType::Integer).is_err());
+        assert_eq!(coerce(Value::Int(3), DataType::Double).unwrap(), Value::Float(3.0));
+        assert!(coerce(Value::Float(1.5), DataType::Integer).is_err());
+        assert!(matches!(coerce(Value::Int(3), DataType::HugeInt).unwrap(), Value::Big(_)));
+        assert!(coerce(Value::Int(-3), DataType::HugeInt).is_err());
+        assert!(coerce(Value::Null, DataType::Text).unwrap().is_null());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = state_table(MemoryBudget::unlimited());
+        assert!(t.coerce_row(vec![Value::Int(0)]).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Engine-level integration tests: the general SQL surface beyond what the
+//! Qymera translator emits — subqueries, unions, outer joins, HAVING, CASE,
+//! DISTINCT, multi-key ordering, CTAS, EXPLAIN — exercised end-to-end.
+
+use qymera_sqldb::{Database, Error, Value};
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE runs (id INTEGER, backend TEXT, qubits INTEGER, ms DOUBLE);
+         INSERT INTO runs VALUES
+           (1, 'sql',         4, 1.5), (2, 'sql',         8, 6.0),
+           (3, 'statevector', 4, 0.1), (4, 'statevector', 8, 0.4),
+           (5, 'sparse',      4, 0.2), (6, 'sparse',      8, 0.3),
+           (7, 'sql',        12, 40.0);
+         CREATE TABLE caps (backend TEXT, max_qubits INTEGER);
+         INSERT INTO caps VALUES ('sql', 63), ('statevector', 27);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn group_by_having_and_aggregates() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT backend, COUNT(*) AS n, AVG(ms) AS avg_ms, MIN(qubits) AS lo, MAX(qubits) AS hi \
+             FROM runs GROUP BY backend HAVING COUNT(*) > 2 ORDER BY backend",
+        )
+        .unwrap();
+    assert_eq!(rs.rows().len(), 1);
+    assert_eq!(rs.rows()[0][0], Value::Str("sql".into()));
+    assert_eq!(rs.rows()[0][1], Value::Int(3));
+    assert!((rs.rows()[0][2].as_f64().unwrap() - (1.5 + 6.0 + 40.0) / 3.0).abs() < 1e-12);
+    assert_eq!(rs.rows()[0][3], Value::Int(4));
+    assert_eq!(rs.rows()[0][4], Value::Int(12));
+}
+
+#[test]
+fn left_join_pads_missing_side() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT runs.backend, caps.max_qubits FROM runs \
+             LEFT JOIN caps ON runs.backend = caps.backend \
+             WHERE runs.qubits = 4 ORDER BY runs.backend",
+        )
+        .unwrap();
+    assert_eq!(rs.rows().len(), 3);
+    // sparse has no cap row → NULL
+    assert_eq!(rs.rows()[0][0], Value::Str("sparse".into()));
+    assert!(rs.rows()[0][1].is_null());
+    assert_eq!(rs.rows()[1][1], Value::Int(63));
+}
+
+#[test]
+fn subquery_in_from_and_where() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT backend, total FROM \
+               (SELECT backend, SUM(ms) AS total FROM runs GROUP BY backend) AS agg \
+             WHERE total > 0.5 ORDER BY total DESC",
+        )
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Str("sql".into()));
+    assert!((rs.rows()[0][1].as_f64().unwrap() - 47.5).abs() < 1e-12);
+}
+
+#[test]
+fn union_all_and_distinct() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT DISTINCT backend FROM \
+             (SELECT backend FROM runs UNION ALL SELECT backend FROM caps) AS u \
+             ORDER BY backend",
+        )
+        .unwrap();
+    let names: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["sparse", "sql", "statevector"]);
+}
+
+#[test]
+fn case_expressions_classify_rows() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT id, CASE WHEN ms < 1.0 THEN 'fast' WHEN ms < 10.0 THEN 'ok' \
+             ELSE 'slow' END AS speed FROM runs ORDER BY id",
+        )
+        .unwrap();
+    let speeds: Vec<String> = rs.rows().iter().map(|r| r[1].to_string()).collect();
+    assert_eq!(speeds, vec!["ok", "ok", "fast", "fast", "fast", "fast", "slow"]);
+}
+
+#[test]
+fn in_list_between_and_is_null() {
+    let mut db = fixture();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM runs WHERE qubits IN (4, 12)")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    let rs = db
+        .execute("SELECT COUNT(*) FROM runs WHERE ms BETWEEN 0.2 AND 1.5")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    let rs = db
+        .execute(
+            "SELECT COUNT(*) FROM runs LEFT JOIN caps ON runs.backend = caps.backend \
+             WHERE caps.max_qubits IS NULL",
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)), "sparse rows have no cap");
+}
+
+#[test]
+fn multi_key_order_with_limit_offset() {
+    let mut db = fixture();
+    let rs = db
+        .execute("SELECT backend, qubits FROM runs ORDER BY backend, qubits DESC LIMIT 3 OFFSET 2")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 3);
+    assert_eq!(rs.rows()[0][0], Value::Str("sql".into()));
+    assert_eq!(rs.rows()[0][1], Value::Int(12));
+}
+
+#[test]
+fn ctas_then_query_then_drop() {
+    let mut db = fixture();
+    let n = db
+        .create_table_as("fast_runs", "SELECT id, ms FROM runs WHERE ms < 1.0")
+        .unwrap();
+    assert_eq!(n, 4);
+    let rs = db.execute("SELECT COUNT(*) FROM fast_runs").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    db.execute("DROP TABLE fast_runs").unwrap();
+    assert!(db.execute("SELECT * FROM fast_runs").is_err());
+}
+
+#[test]
+fn explain_runs_through_sql() {
+    let mut db = fixture();
+    let rs = db
+        .execute("EXPLAIN SELECT backend, SUM(ms) FROM runs GROUP BY backend ORDER BY backend")
+        .unwrap();
+    let text = rs.rows().iter().map(|r| r[0].to_string()).collect::<Vec<_>>().join("\n");
+    assert!(text.contains("Aggregate"));
+    assert!(text.contains("Sort"));
+    assert!(text.contains("Scan runs"));
+}
+
+#[test]
+fn arithmetic_edge_cases_surface_as_errors() {
+    let mut db = fixture();
+    assert!(matches!(db.execute("SELECT 1 / 0"), Err(Error::Eval(_))));
+    assert!(matches!(db.execute("SELECT 9223372036854775807 + 1"), Err(Error::Eval(_))));
+    // but float division by zero is IEEE infinity, not an error
+    let rs = db.execute("SELECT 1.0 / 0.0").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_f64().unwrap(), f64::INFINITY);
+}
+
+#[test]
+fn three_way_join_chain() {
+    let mut db = fixture();
+    db.execute_script(
+        "CREATE TABLE teams (backend TEXT, team TEXT);
+         INSERT INTO teams VALUES ('sql', 'db'), ('statevector', 'hpc');",
+    )
+    .unwrap();
+    let rs = db
+        .execute(
+            "SELECT runs.id, caps.max_qubits, teams.team FROM runs \
+             JOIN caps ON runs.backend = caps.backend \
+             JOIN teams ON caps.backend = teams.backend \
+             WHERE runs.qubits = 8 ORDER BY runs.id",
+        )
+        .unwrap();
+    assert_eq!(rs.rows().len(), 2);
+    assert_eq!(rs.rows()[0][2], Value::Str("db".into()));
+    assert_eq!(rs.rows()[1][2], Value::Str("hpc".into()));
+}
+
+#[test]
+fn scalar_functions_in_queries() {
+    let mut db = fixture();
+    let rs = db
+        .execute(
+            "SELECT id, ROUND(SQRT(ms), 2) AS rsq, UPPER(backend) AS ub \
+             FROM runs WHERE id = 2",
+        )
+        .unwrap();
+    assert!((rs.rows()[0][1].as_f64().unwrap() - 2.45).abs() < 1e-12);
+    assert_eq!(rs.rows()[0][2], Value::Str("SQL".into()));
+}
+
+#[test]
+fn count_distinct_and_sum_distinct() {
+    let mut db = fixture();
+    let rs = db
+        .execute("SELECT COUNT(DISTINCT backend), COUNT(DISTINCT qubits) FROM runs")
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(3));
+    assert_eq!(rs.rows()[0][1], Value::Int(3));
+}
+
+#[test]
+fn cross_join_and_implicit_comma_join() {
+    let mut db = fixture();
+    let a = db
+        .execute("SELECT COUNT(*) FROM caps CROSS JOIN caps AS c2")
+        .unwrap();
+    assert_eq!(a.scalar(), Some(&Value::Int(4)));
+    let b = db
+        .execute("SELECT COUNT(*) FROM caps, caps AS c2 WHERE caps.backend = c2.backend")
+        .unwrap();
+    assert_eq!(b.scalar(), Some(&Value::Int(2)), "comma join + equality filter");
+}

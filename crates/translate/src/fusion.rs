@@ -1,0 +1,220 @@
+//! Gate fusion — §3.2 "Query Optimization: consecutive gates are fused into
+//! single SQL query where possible, minimizing intermediate results".
+//!
+//! Greedy scheme: consecutive gates whose combined qubit support stays within
+//! `max_fused_qubits` are multiplied into one unitary block, so the CTE chain
+//! shrinks (each CTE is one join + one aggregation over the whole state, so
+//! fewer CTEs means proportionally fewer passes).
+
+use qymera_circuit::{CMatrix, Complex64, Gate, QuantumCircuit};
+
+use crate::tables::{GateOp, GateTableRegistry, GATE_AMPLITUDE_TOL};
+
+/// Embed `m` (acting on `from`, local bit j = `from[j]`) into the qubit list
+/// `to` (⊇ `from`), producing a 2^|to| matrix with identity on `to ∖ from`.
+pub fn embed(m: &CMatrix, from: &[usize], to: &[usize]) -> CMatrix {
+    let pos: Vec<usize> = from
+        .iter()
+        .map(|q| {
+            to.iter()
+                .position(|t| t == q)
+                .expect("`from` qubits must be a subset of `to`")
+        })
+        .collect();
+    let dim = 1usize << to.len();
+    let rest_mask: usize = {
+        let mut used = 0usize;
+        for &p in &pos {
+            used |= 1 << p;
+        }
+        !used & (dim - 1)
+    };
+    let mut out = CMatrix::zeros(dim, dim);
+    for a in 0..dim {
+        for b in 0..dim {
+            if a & rest_mask != b & rest_mask {
+                continue; // identity on untouched qubits
+            }
+            let mut la = 0usize;
+            let mut lb = 0usize;
+            for (j, &p) in pos.iter().enumerate() {
+                la |= ((a >> p) & 1) << j;
+                lb |= ((b >> p) & 1) << j;
+            }
+            out[(a, b)] = m[(la, lb)];
+        }
+    }
+    out
+}
+
+/// Sparse entries of an arbitrary unitary block (the fused gate's relational
+/// table).
+pub fn matrix_entries(m: &CMatrix, tol: f64) -> Vec<(u64, u64, Complex64)> {
+    let mut entries = Vec::new();
+    for in_s in 0..m.cols() {
+        for out_s in 0..m.rows() {
+            let amp = m[(out_s, in_s)];
+            if amp.norm_sqr() > tol * tol {
+                entries.push((in_s as u64, out_s as u64, amp));
+            }
+        }
+    }
+    entries
+}
+
+/// One fused block before lowering.
+#[derive(Debug, Clone)]
+struct Block {
+    qubits: Vec<usize>,
+    matrix: CMatrix,
+    gates: Vec<Gate>,
+}
+
+impl Block {
+    fn from_gate(g: &Gate) -> Self {
+        Block { qubits: g.qubits.clone(), matrix: g.matrix(), gates: vec![g.clone()] }
+    }
+
+    /// Try to absorb `g`; returns false (unchanged) if the union would
+    /// exceed `max_qubits`.
+    fn try_absorb(&mut self, g: &Gate, max_qubits: usize) -> bool {
+        let mut union = self.qubits.clone();
+        for &q in &g.qubits {
+            if !union.contains(&q) {
+                union.push(q);
+            }
+        }
+        if union.len() > max_qubits {
+            return false;
+        }
+        let lifted_block = embed(&self.matrix, &self.qubits, &union);
+        let lifted_gate = embed(&g.matrix(), &g.qubits, &union);
+        self.matrix = lifted_gate.matmul(&lifted_block);
+        self.qubits = union;
+        self.gates.push(g.clone());
+        true
+    }
+
+    fn lower(self, reg: &mut GateTableRegistry) -> GateOp {
+        if self.gates.len() == 1 {
+            // Single gate: keep the canonical shared table (H, CX, …).
+            return reg.lower_gate(&self.gates[0]);
+        }
+        let entries = matrix_entries(&self.matrix, GATE_AMPLITUDE_TOL);
+        reg.register_custom("F", self.qubits, entries)
+    }
+}
+
+/// Lower a circuit to gate operations, optionally fusing consecutive gates
+/// up to `max_fused_qubits` (`None` disables fusion — one op per gate).
+pub fn lower_circuit(
+    circuit: &QuantumCircuit,
+    reg: &mut GateTableRegistry,
+    max_fused_qubits: Option<usize>,
+) -> Vec<GateOp> {
+    match max_fused_qubits {
+        None => circuit.gates().iter().map(|g| reg.lower_gate(g)).collect(),
+        Some(max_q) => {
+            let mut ops = Vec::new();
+            let mut current: Option<Block> = None;
+            for g in circuit.gates() {
+                let absorbed = match current.as_mut() {
+                    Some(block) => block.try_absorb(g, max_q),
+                    None => false,
+                };
+                if !absorbed {
+                    if let Some(block) = current.take() {
+                        ops.push(block.lower(reg));
+                    }
+                    current = Some(Block::from_gate(g));
+                }
+            }
+            if let Some(block) = current {
+                ops.push(block.lower(reg));
+            }
+            ops
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qymera_circuit::{library, CircuitBuilder, GateKind};
+
+    #[test]
+    fn embed_identity_on_rest() {
+        // X on qubit 0, embedded into [0, 2]: |q2 q0⟩ basis, X on bit 0.
+        let x = Gate::new(GateKind::X, vec![0], vec![]).matrix();
+        let e = embed(&x, &[0], &[0, 2]);
+        assert_eq!(e.rows(), 4);
+        // |00⟩→|01⟩ (local), |10⟩→|11⟩; identity on bit 1 (qubit 2)
+        assert_eq!(e[(1, 0)], qymera_circuit::c64(1.0, 0.0));
+        assert_eq!(e[(3, 2)], qymera_circuit::c64(1.0, 0.0));
+        assert_eq!(e[(2, 0)], qymera_circuit::Complex64::ZERO);
+        assert!(e.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn fused_block_equals_gate_product() {
+        // H(0) then X(0): block matrix must equal X·H.
+        let c = CircuitBuilder::new(1).h(0).x(0).build();
+        let mut block = Block::from_gate(&c.gates()[0]);
+        assert!(block.try_absorb(&c.gates()[1], 2));
+        let h = c.gates()[0].matrix();
+        let x = c.gates()[1].matrix();
+        let expect = x.matmul(&h);
+        assert!(block.matrix.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn fusion_reduces_op_count_on_ghz() {
+        let c = library::ghz(3);
+        let mut reg = GateTableRegistry::new();
+        let unfused = lower_circuit(&c, &mut reg, None);
+        assert_eq!(unfused.len(), 3);
+        let mut reg = GateTableRegistry::new();
+        let fused = lower_circuit(&c, &mut reg, Some(2));
+        // H(0) and CX(0,1) fuse (2 qubits); CX(1,2) cannot join (union = 3).
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused[0].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn fusion_with_cap_3_collapses_ghz3_to_one_op() {
+        let c = library::ghz(3);
+        let mut reg = GateTableRegistry::new();
+        let fused = lower_circuit(&c, &mut reg, Some(3));
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].qubits.len(), 3);
+        // The fused block must be unitary: entries form a valid table.
+        assert!(!fused[0].entries.is_empty());
+    }
+
+    #[test]
+    fn oversized_gate_passes_through() {
+        let c = CircuitBuilder::new(3).ccx(0, 1, 2).h(0).build();
+        let mut reg = GateTableRegistry::new();
+        let ops = lower_circuit(&c, &mut reg, Some(2));
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].qubits.len(), 3, "CCX alone in its block");
+    }
+
+    #[test]
+    fn single_gate_blocks_share_canonical_tables() {
+        let c = CircuitBuilder::new(4).cx(0, 1).cx(2, 3).build();
+        let mut reg = GateTableRegistry::new();
+        let ops = lower_circuit(&c, &mut reg, Some(2));
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].table, "CX");
+        assert_eq!(ops[1].table, "CX", "both blocks reuse the CX table");
+    }
+
+    #[test]
+    fn fused_matrix_entries_are_pruned() {
+        // CZ is diagonal: 4 entries, not 16.
+        let cz = Gate::new(GateKind::Cz, vec![0, 1], vec![]).matrix();
+        let entries = matrix_entries(&cz, 1e-15);
+        assert_eq!(entries.len(), 4);
+    }
+}

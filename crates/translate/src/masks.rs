@@ -1,0 +1,291 @@
+//! Bit-mask arithmetic for locating qubits inside the integer state index
+//! (§2.2 of the paper, Table 1).
+//!
+//! For a gate on qubits `[q₀, …, q_{k−1}]` the generated SQL must:
+//!
+//! * extract the *local* input index `in_s = Σ bit(s, qⱼ) << j`
+//!   (`(T0.s & 1)` and `((T2.s >> 1) & 3)` in Fig. 2c);
+//! * clear those qubit bits (`T0.s & ~1`, `T2.s & ~6`);
+//! * re-insert the gate's output bits (`| H.out_s`, `| (CX.out_s << 1)`).
+//!
+//! When the gate's qubits are contiguous ascending, the expressions reduce to
+//! the exact shift-and-mask forms of the paper; arbitrary qubit tuples fall
+//! back to per-bit extraction. Registers wider than 63 qubits switch to
+//! `HUGEINT` hex literals, and `~mask` is emitted as a precomputed complement
+//! (bitwise NOT needs an explicit width on arbitrary-precision integers).
+
+use qymera_sqldb::BigBits;
+
+/// How basis-state integers are represented in SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateEncoding {
+    /// `INTEGER` (i64) — up to 63 qubits; the paper's setting.
+    Int,
+    /// `HUGEINT` with hex literals — arbitrary widths (sparse experiment).
+    Huge,
+}
+
+impl StateEncoding {
+    /// Pick the narrowest encoding for an `n`-qubit register.
+    pub fn for_qubits(n: usize) -> StateEncoding {
+        if n <= 63 {
+            StateEncoding::Int
+        } else {
+            StateEncoding::Huge
+        }
+    }
+
+    /// SQL column type name for the `s` column.
+    pub fn sql_type(&self) -> &'static str {
+        match self {
+            StateEncoding::Int => "INTEGER",
+            StateEncoding::Huge => "HUGEINT",
+        }
+    }
+}
+
+/// Mask expressions for one gate application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateMasks {
+    qubits: Vec<usize>,
+    num_qubits: usize,
+    encoding: StateEncoding,
+}
+
+impl GateMasks {
+    pub fn new(qubits: &[usize], num_qubits: usize) -> Self {
+        assert!(!qubits.is_empty());
+        assert!(qubits.iter().all(|&q| q < num_qubits));
+        GateMasks {
+            qubits: qubits.to_vec(),
+            num_qubits,
+            encoding: StateEncoding::for_qubits(num_qubits),
+        }
+    }
+
+    pub fn encoding(&self) -> StateEncoding {
+        self.encoding
+    }
+
+    /// True if qubits are `q₀, q₀+1, …` in ascending order.
+    fn contiguous_ascending(&self) -> bool {
+        self.qubits.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+
+    /// Σ 1 << qⱼ — the bits this gate touches.
+    fn touched_mask_u64(&self) -> u64 {
+        self.qubits.iter().fold(0u64, |m, &q| m | (1u64 << q.min(63)))
+    }
+
+    /// SQL literal for an arbitrary-width constant.
+    fn literal(&self, small: u64, big: impl FnOnce() -> BigBits) -> String {
+        match self.encoding {
+            StateEncoding::Int => format!("{small}"),
+            StateEncoding::Huge => format!("0x{}", big().to_hex()),
+        }
+    }
+
+    /// The *input-extraction* expression: the local index of the gate's
+    /// qubits inside `{t}.s` (e.g. `(T0.s & 1)`, `((T2.s >> 1) & 3)`).
+    pub fn in_expr(&self, t: &str) -> String {
+        let k = self.qubits.len();
+        let local_mask = (1u64 << k) - 1;
+        if self.contiguous_ascending() {
+            let q0 = self.qubits[0];
+            let mask_lit = self.literal(local_mask, || BigBits::from_u64(local_mask, 64));
+            if q0 == 0 {
+                format!("({t}.s & {mask_lit})")
+            } else {
+                format!("(({t}.s >> {q0}) & {mask_lit})")
+            }
+        } else {
+            // Per-bit extraction: (((s >> qj) & 1) << j) OR-ed together.
+            let parts: Vec<String> = self
+                .qubits
+                .iter()
+                .enumerate()
+                .map(|(j, &q)| {
+                    let extract = if q == 0 {
+                        format!("({t}.s & 1)")
+                    } else {
+                        format!("(({t}.s >> {q}) & 1)")
+                    };
+                    if j == 0 {
+                        extract
+                    } else {
+                        format!("({extract} << {j})")
+                    }
+                })
+                .collect();
+            format!("({})", parts.join(" | "))
+        }
+    }
+
+    /// The *bit-clearing* expression `({t}.s & ~mask)` — for `HUGEINT`, the
+    /// complement is precomputed into a hex literal of the register's width.
+    pub fn clear_expr(&self, t: &str) -> String {
+        match self.encoding {
+            StateEncoding::Int => {
+                format!("({t}.s & ~{})", self.touched_mask_u64())
+            }
+            StateEncoding::Huge => {
+                let mut mask = BigBits::zero(self.num_qubits);
+                for &q in &self.qubits {
+                    mask.set_bit(q, true);
+                }
+                format!("({t}.s & 0x{})", mask.not().to_hex())
+            }
+        }
+    }
+
+    /// The *output-placement* expression for the gate table's `out_s`
+    /// (e.g. `H.out_s`, `(CX.out_s << 1)`).
+    pub fn out_expr(&self, g: &str) -> String {
+        self.place_expr(g, "out_s")
+    }
+
+    /// Like [`Self::out_expr`] but placing an arbitrary gate-table column
+    /// (`in_s` or `out_s`) at this gate's qubit positions.
+    fn place_expr(&self, g: &str, col: &str) -> String {
+        if self.contiguous_ascending() {
+            let q0 = self.qubits[0];
+            if q0 == 0 {
+                format!("{g}.{col}")
+            } else {
+                format!("({g}.{col} << {q0})")
+            }
+        } else {
+            let parts: Vec<String> = self
+                .qubits
+                .iter()
+                .enumerate()
+                .map(|(j, &q)| {
+                    let extract = if j == 0 {
+                        format!("({g}.{col} & 1)")
+                    } else {
+                        format!("(({g}.{col} >> {j}) & 1)")
+                    };
+                    if q == 0 {
+                        extract
+                    } else {
+                        format!("({extract} << {q})")
+                    }
+                })
+                .collect();
+            format!("({})", parts.join(" | "))
+        }
+    }
+
+    /// The full new-state expression.
+    ///
+    /// * `INTEGER` encoding: `((T.s & ~mask) | out)` — Fig. 2c verbatim.
+    /// * `HUGEINT` encoding: `((T.s ^ placed(in_s)) ^ placed(out_s))` — the
+    ///   join guarantees `placed(in_s)` equals the touched bits of `s`, so
+    ///   XOR clears then re-inserts them *without* an n-bit complement-mask
+    ///   literal. This keeps generated SQL O(1) in the register width, which
+    ///   is what makes the paper's thousands-of-qubits sparse experiment
+    ///   practical to drive through SQL text.
+    pub fn new_state_expr(&self, t: &str, g: &str) -> String {
+        match self.encoding {
+            StateEncoding::Int => format!("({} | {})", self.clear_expr(t), self.out_expr(g)),
+            StateEncoding::Huge => format!(
+                "(({t}.s ^ {}) ^ {})",
+                self.place_expr(g, "in_s"),
+                self.place_expr(g, "out_s")
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_q1_h_on_qubit0() {
+        let m = GateMasks::new(&[0], 3);
+        assert_eq!(m.in_expr("T0"), "(T0.s & 1)");
+        assert_eq!(m.new_state_expr("T0", "H"), "((T0.s & ~1) | H.out_s)");
+    }
+
+    #[test]
+    fn fig2_q2_cx_on_01() {
+        let m = GateMasks::new(&[0, 1], 3);
+        assert_eq!(m.in_expr("T1"), "(T1.s & 3)");
+        assert_eq!(m.new_state_expr("T1", "CX"), "((T1.s & ~3) | CX.out_s)");
+    }
+
+    #[test]
+    fn fig2_q3_cx_on_12() {
+        let m = GateMasks::new(&[1, 2], 3);
+        assert_eq!(m.in_expr("T2"), "((T2.s >> 1) & 3)");
+        assert_eq!(
+            m.new_state_expr("T2", "CX"),
+            "((T2.s & ~6) | (CX.out_s << 1))"
+        );
+    }
+
+    #[test]
+    fn non_contiguous_qubits() {
+        // CX with control 2, target 0 (listed [2, 0]): not contiguous.
+        let m = GateMasks::new(&[2, 0], 4);
+        let e = m.in_expr("T");
+        assert!(e.contains("(T.s >> 2) & 1"), "{e}");
+        assert!(e.contains("(T.s & 1) << 1"), "{e}");
+        let o = m.out_expr("G");
+        assert!(o.contains("(G.out_s & 1) << 2"), "{o}");
+        assert_eq!(m.clear_expr("T"), "(T.s & ~5)");
+    }
+
+    #[test]
+    fn descending_pair_is_non_contiguous() {
+        let m = GateMasks::new(&[1, 0], 3);
+        // [1, 0] must NOT be treated as contiguous-ascending.
+        assert!(m.in_expr("T").contains("|"));
+    }
+
+    #[test]
+    fn huge_encoding_uses_hex_complements() {
+        let m = GateMasks::new(&[0], 100);
+        assert_eq!(m.encoding(), StateEncoding::Huge);
+        let c = m.clear_expr("T");
+        assert!(c.starts_with("(T.s & 0x"), "{c}");
+        // complement of bit 0 over 100 bits: ...fffe (25 hex digits)
+        assert!(c.contains("fffe"), "{c}");
+        assert_eq!(m.in_expr("T"), "(T.s & 0x1)");
+    }
+
+    #[test]
+    fn huge_new_state_uses_xor_form() {
+        // Wide registers avoid O(n)-sized complement literals entirely.
+        let m = GateMasks::new(&[70, 71], 100_000);
+        let e = m.new_state_expr("T", "G");
+        assert_eq!(e, "((T.s ^ (G.in_s << 70)) ^ (G.out_s << 70))");
+        assert!(e.len() < 64, "expression must be O(1) in register width");
+        let m0 = GateMasks::new(&[0], 100_000);
+        assert_eq!(m0.new_state_expr("T", "H"), "((T.s ^ H.in_s) ^ H.out_s)");
+    }
+
+    #[test]
+    fn huge_high_qubit_shift() {
+        let m = GateMasks::new(&[70, 71], 100);
+        assert_eq!(m.in_expr("T"), "((T.s >> 70) & 0x3)");
+        assert_eq!(m.out_expr("G"), "(G.out_s << 70)");
+    }
+
+    #[test]
+    fn encoding_selection_boundary() {
+        assert_eq!(StateEncoding::for_qubits(63), StateEncoding::Int);
+        assert_eq!(StateEncoding::for_qubits(64), StateEncoding::Huge);
+        assert_eq!(StateEncoding::Int.sql_type(), "INTEGER");
+        assert_eq!(StateEncoding::Huge.sql_type(), "HUGEINT");
+    }
+
+    #[test]
+    fn three_qubit_contiguous() {
+        let m = GateMasks::new(&[2, 3, 4], 8);
+        assert_eq!(m.in_expr("T"), "((T.s >> 2) & 7)");
+        assert_eq!(m.clear_expr("T"), "(T.s & ~28)");
+        assert_eq!(m.out_expr("G"), "(G.out_s << 2)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Measurement and analysis queries over a final state table — the Output
+//! Layer's "final quantum state, including measurement probabilities"
+//! (§3.4), expressed as SQL like everything else in Qymera.
+
+/// Total squared norm: should return 1 for a valid state.
+pub fn norm_query(table: &str) -> String {
+    format!("SELECT SUM((r * r) + (i * i)) AS norm FROM {table}")
+}
+
+/// Basis-state probabilities, most probable first.
+pub fn probabilities_query(table: &str, limit: Option<usize>) -> String {
+    let mut sql = format!(
+        "SELECT s, ((r * r) + (i * i)) AS p FROM {table} ORDER BY p DESC, s"
+    );
+    if let Some(k) = limit {
+        sql.push_str(&format!(" LIMIT {k}"));
+    }
+    sql
+}
+
+/// Marginal distribution of one qubit: rows `(bit, probability)`.
+/// The bit expression is wrapped in `CAST(… AS INTEGER)` so it stays an
+/// ordinary integer under the `HUGEINT` encoding as well.
+pub fn marginal_query(table: &str, qubit: usize) -> String {
+    let bit = bit_expr(table, qubit);
+    format!(
+        "SELECT {bit} AS bit, SUM((r * r) + (i * i)) AS p FROM {table} GROUP BY {bit} ORDER BY bit"
+    )
+}
+
+/// ⟨Z_q⟩ expectation: Σ p(s) · (1 − 2·bit_q(s)).
+pub fn expectation_z_query(table: &str, qubit: usize) -> String {
+    let bit = bit_expr(table, qubit);
+    format!("SELECT SUM(((r * r) + (i * i)) * (1 - (2 * {bit}))) AS ez FROM {table}")
+}
+
+/// Probability that qubits measured in the computational basis equal
+/// `pattern` on the masked positions: rows restricted by `s & mask = value`.
+pub fn pattern_probability_query(table: &str, mask: u64, value: u64) -> String {
+    format!(
+        "SELECT SUM((r * r) + (i * i)) AS p FROM {table} WHERE (s & {mask}) = {value}"
+    )
+}
+
+/// Number of stored (nonzero) basis states.
+pub fn support_size_query(table: &str) -> String {
+    format!("SELECT COUNT(*) AS nonzeros FROM {table}")
+}
+
+fn bit_expr(table: &str, qubit: usize) -> String {
+    if qubit == 0 {
+        format!("CAST(({table}.s & 1) AS INTEGER)")
+    } else {
+        format!("CAST((({table}.s >> {qubit}) & 1) AS INTEGER)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qymera_sqldb::{parser, Database, Value};
+
+    fn ghz_state_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        db.execute(&format!("INSERT INTO T VALUES (0, {a}, 0.0), (7, {a}, 0.0)"))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for sql in [
+            norm_query("T"),
+            probabilities_query("T", Some(5)),
+            probabilities_query("T", None),
+            marginal_query("T", 2),
+            expectation_z_query("T", 0),
+            pattern_probability_query("T", 3, 1),
+            support_size_query("T"),
+        ] {
+            parser::parse_statement(&sql).unwrap_or_else(|e| panic!("{e}: {sql}"));
+        }
+    }
+
+    #[test]
+    fn norm_and_support() {
+        let mut db = ghz_state_db();
+        let norm = db.execute(&norm_query("T")).unwrap().scalar().unwrap().as_f64().unwrap();
+        assert!((norm - 1.0).abs() < 1e-12);
+        let n = db.execute(&support_size_query("T")).unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn probabilities_ordering() {
+        let mut db = ghz_state_db();
+        db.execute("INSERT INTO T VALUES (3, 0.1, 0.0)").unwrap();
+        let rs = db.execute(&probabilities_query("T", Some(2))).unwrap();
+        assert_eq!(rs.rows().len(), 2);
+        // the two GHZ components (p = 0.5) come before the 0.01 entry
+        assert_eq!(rs.rows()[0][0], Value::Int(0));
+        assert_eq!(rs.rows()[1][0], Value::Int(7));
+    }
+
+    #[test]
+    fn marginal_of_ghz_qubit() {
+        let mut db = ghz_state_db();
+        let rs = db.execute(&marginal_query("T", 1)).unwrap();
+        assert_eq!(rs.rows().len(), 2);
+        assert!((rs.rows()[0][1].as_f64().unwrap() - 0.5).abs() < 1e-12);
+        assert!((rs.rows()[1][1].as_f64().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_expectation_of_ghz_is_zero() {
+        let mut db = ghz_state_db();
+        let ez = db
+            .execute(&expectation_z_query("T", 0))
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(ez.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_probability() {
+        let mut db = ghz_state_db();
+        // P(qubit0 = 1 and qubit1 = 1) = P(|111⟩) = 0.5
+        let p = db
+            .execute(&pattern_probability_query("T", 3, 3))
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! Demonstration Scenario 2 — simulation-method benchmarking.
+//!
+//! Runs GHZ state preparation and the equal superposition of all states
+//! (the paper's two test cases) across every backend, printing the
+//! time/memory pivot tables the demo's benchmark panel displays.
+//!
+//! ```sh
+//! cargo run --release --example ghz_benchmark -- 14
+//! ```
+
+use qymera::core::benchsuite::report::{pivot_memory_table, pivot_time_table, to_csv};
+use qymera::core::benchsuite::{run_sweep, Workload};
+use qymera::core::{BackendKind, Engine};
+use qymera::sim::SimOptions;
+
+fn main() {
+    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let sizes: Vec<usize> = (4..=max_n).step_by(2).collect();
+
+    let engine = Engine::new(SimOptions::default());
+    let workloads = vec![
+        Workload::new("ghz", qymera::circuit::library::ghz),
+        Workload::new("equal_superposition", qymera::circuit::library::equal_superposition),
+    ];
+    let records = run_sweep("scenario2", &engine, &workloads, &sizes, &BackendKind::ALL);
+
+    for workload in ["ghz", "equal_superposition"] {
+        let subset: Vec<_> = records.iter().filter(|r| r.workload == workload).cloned().collect();
+        println!("=== {workload}: wall time (ms) ===");
+        println!("{}", pivot_time_table(&subset));
+        println!("=== {workload}: peak state memory ===");
+        println!("{}", pivot_memory_table(&subset));
+    }
+
+    // Scenario 2's takeaway, computed from the data: who wins where?
+    let ghz_best = fastest(&records, "ghz", max_n);
+    let dense_best = fastest(&records, "equal_superposition", max_n);
+    println!("fastest on ghz({max_n}):                 {ghz_best}");
+    println!("fastest on equal_superposition({max_n}): {dense_best}");
+    println!(
+        "\n(as in the paper: no single method dominates — benchmark, don't guess.)"
+    );
+
+    // Export for further analysis, as the Output Layer's export feature does.
+    let path = std::env::temp_dir().join("qymera_scenario2.csv");
+    std::fs::write(&path, to_csv(&records)).expect("write CSV");
+    println!("full results exported to {}", path.display());
+}
+
+fn fastest(records: &[qymera::core::benchsuite::BenchRecord], workload: &str, n: usize) -> String {
+    records
+        .iter()
+        .filter(|r| r.workload == workload && r.num_qubits == n && r.ok)
+        .min_by(|a, b| a.wall_micros.cmp(&b.wall_micros))
+        .map(|r| format!("{} ({:.2} ms)", r.backend, r.wall_ms()))
+        .unwrap_or_else(|| "n/a".to_string())
+}

@@ -1,0 +1,52 @@
+//! Out-of-core simulation (§3.3): run a dense circuit whose state does not
+//! fit in the memory budget. The in-memory baselines fail outright; the SQL
+//! backend spills aggregation state to disk and completes.
+//!
+//! ```sh
+//! cargo run --release --example out_of_core -- 14
+//! ```
+
+use qymera::circuit::library;
+use qymera::core::{BackendKind, Engine};
+use qymera::sim::SimOptions;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let circuit = library::equal_superposition(n);
+    // A budget far below the 2^n-amplitude state (16·2^n bytes dense).
+    let budget = 64 * 1024;
+    println!(
+        "workload: equal_superposition({n}) → 2^{n} = {} amplitudes\n\
+         memory budget: {budget} bytes (dense state needs {} bytes)\n",
+        1u64 << n,
+        16u64 << n
+    );
+
+    let engine = Engine::new(SimOptions::with_memory_limit(budget));
+    for backend in [
+        BackendKind::StateVector,
+        BackendKind::Sparse,
+        BackendKind::Dd,
+        BackendKind::Sql,
+    ] {
+        let r = engine.run(backend, &circuit);
+        match (&r.output, &r.error) {
+            (Some(out), _) => println!(
+                "{:>12}: ok — {} amplitudes in {:.1} ms, engine peak {} B  [{}]",
+                r.backend,
+                out.nonzero_count(),
+                r.wall_micros as f64 / 1000.0,
+                r.memory_bytes,
+                r.detail
+            ),
+            (None, Some(e)) => println!("{:>12}: FAILED — {e}", r.backend),
+            _ => unreachable!(),
+        }
+    }
+    println!(
+        "\nOnly the SQL backend finishes: its grouped aggregation partitions\n\
+         the state to disk when the budget runs out — the RDBMS feature the\n\
+         paper highlights as enabling simulation 'at scales beyond traditional\n\
+         in-memory methods'."
+    );
+}

@@ -1,0 +1,6 @@
+//! Facade re-exporting the Qymera workspace crates.
+pub use qymera_circuit as circuit;
+pub use qymera_core as core;
+pub use qymera_sim as sim;
+pub use qymera_sqldb as sqldb;
+pub use qymera_translate as translate;
