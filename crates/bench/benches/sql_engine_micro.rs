@@ -1,24 +1,28 @@
 //! Microbenchmarks of the relational substrate itself: tokenize/parse/plan
 //! of the Fig. 2c query, hash-join probe throughput, and grouped-aggregation
 //! throughput — the three costs every simulated gate pays.
+//!
+//! The gate-application query runs on **both** execution paths in the same
+//! process (`gate_join_groupby_16k_rows` = vectorized default,
+//! `gate_join_groupby_16k_rows_rowpath` = row-at-a-time reference), so one
+//! bench run yields the row-vs-batch speedup directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qymera_sqldb::{parser, Database, Value};
+use qymera_sqldb::{parser, Database, ExecPath, Value};
 
 const FIG2C: &str = "WITH T1 AS (SELECT ((T0.s & ~1) | H.out_s) AS s, \
 SUM((T0.r * H.r) - (T0.i * H.i)) AS r, SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
 FROM T0 JOIN H ON H.in_s = (T0.s & 1) GROUP BY ((T0.s & ~1) | H.out_s)) \
 SELECT s, r, i FROM T1 ORDER BY s";
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sql_engine_micro");
-    group.sample_size(30);
+const GATE_APPLY: &str = "SELECT ((T0.s & ~1) | H.out_s) AS s, \
+SUM((T0.r * H.r) - (T0.i * H.i)) AS r, \
+SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
+FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
+GROUP BY ((T0.s & ~1) | H.out_s)";
 
-    group.bench_function("parse_fig2c", |b| {
-        b.iter(|| std::hint::black_box(parser::parse_statement(FIG2C).unwrap()))
-    });
-
-    // One gate application over a 16k-row state (join + group by).
+/// A 16k-amplitude uniform state plus a Hadamard gate table.
+fn gate_db() -> Database {
     let mut db = Database::new();
     db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
     let rows: Vec<Vec<Value>> = (0..16_384)
@@ -32,18 +36,43 @@ fn bench_engine(c: &mut Criterion) {
         -h
     ))
     .unwrap();
+    db
+}
 
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_engine_micro");
+    group.sample_size(30);
+
+    group.bench_function("parse_fig2c", |b| {
+        b.iter(|| std::hint::black_box(parser::parse_statement(FIG2C).unwrap()))
+    });
+
+    // One gate application over a 16k-row state (join + group by) on the
+    // default vectorized path ...
+    let mut db = gate_db();
     group.bench_function("gate_join_groupby_16k_rows", |b| {
         b.iter(|| {
-            let rs = db
-                .execute(
-                    "SELECT ((T0.s & ~1) | H.out_s) AS s, \
-                     SUM((T0.r * H.r) - (T0.i * H.i)) AS r, \
-                     SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
-                     FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
-                     GROUP BY ((T0.s & ~1) | H.out_s)",
-                )
-                .unwrap();
+            let rs = db.execute(GATE_APPLY).unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    // ... and the same query on the row-at-a-time reference path. The ratio
+    // of these two is the headline vectorization speedup.
+    let mut row_db = gate_db();
+    row_db.set_exec_path(ExecPath::Row);
+    group.bench_function("gate_join_groupby_16k_rows_rowpath", |b| {
+        b.iter(|| {
+            let rs = row_db.execute(GATE_APPLY).unwrap();
+            std::hint::black_box(rs.rows().len())
+        })
+    });
+
+    // The full Fig. 2c shape end to end: CTE, join, grouped aggregation,
+    // final ORDER BY.
+    group.bench_function("gate_apply_fig2c_cte_16k", |b| {
+        b.iter(|| {
+            let rs = db.execute(FIG2C).unwrap();
             std::hint::black_box(rs.rows().len())
         })
     });

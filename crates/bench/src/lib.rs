@@ -1,0 +1,2 @@
+//! Benchmark-only crate: all content lives in `benches/` (criterion
+//! harnesses). This stub exists so the package has a compilable target.

@@ -483,7 +483,7 @@ mod tests {
     fn ansatz_symbols_count() {
         let pc = hardware_efficient_ansatz(3, 2);
         assert_eq!(pc.symbols().len(), 3 * 2 * 2);
-        let c = pc.bind_values(&vec![0.1; 12]).unwrap();
+        let c = pc.bind_values(&[0.1; 12]).unwrap();
         assert_eq!(c.num_qubits, 3);
     }
 

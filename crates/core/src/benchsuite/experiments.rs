@@ -21,6 +21,7 @@ use crate::engine::{BackendKind, Engine};
 /// Result of the memory-limited max-qubits experiment.
 #[derive(Debug, Clone)]
 pub struct MaxQubitsResult {
+    /// The memory budget the experiment ran under, in bytes.
     pub budget_bytes: usize,
     /// Dense state-vector cap under the budget (analytic: 16·2ⁿ ≤ budget).
     pub statevector_max: usize,
@@ -98,6 +99,7 @@ pub fn max_qubits_experiment(budget_bytes: usize, max_probe: usize) -> MaxQubits
 }
 
 impl MaxQubitsResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -133,6 +135,7 @@ impl MaxQubitsResult {
 /// Dense-workload comparison rows: (n, sv ms, sql ms, slowdown factor).
 #[derive(Debug, Clone)]
 pub struct DenseOverheadResult {
+    /// `(n, statevector ms, sql ms, slowdown factor)` per register size.
     pub rows: Vec<(usize, f64, f64, f64)>,
 }
 
@@ -155,6 +158,7 @@ pub fn dense_overhead_experiment(sizes: &[usize]) -> DenseOverheadResult {
 }
 
 impl DenseOverheadResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "E3b — dense circuits (equal superposition): SQL vs state vector\n\
@@ -178,7 +182,9 @@ impl DenseOverheadResult {
 /// Per-backend parity results: (backend, wall ms, measured parity, correct).
 #[derive(Debug, Clone)]
 pub struct ParityResult {
+    /// The data bits whose parity was checked.
     pub input: Vec<bool>,
+    /// `(backend, wall ms, measured parity, correct)` per backend.
     pub rows: Vec<(String, f64, Option<bool>, bool)>,
 }
 
@@ -199,6 +205,7 @@ pub fn parity_experiment(input: &[bool]) -> ParityResult {
 }
 
 impl ParityResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let bits: String = self.input.iter().map(|&b| if b { '1' } else { '0' }).collect();
         let mut out = format!("E4 — parity check of input {bits}\n");
@@ -238,13 +245,17 @@ pub fn scenario_benchmark(sizes: &[usize], opts: SimOptions) -> Vec<BenchRecord>
 /// Fusion ablation rows: (workload, n, fusion, ops, wall ms).
 #[derive(Debug, Clone)]
 pub struct FusionResult {
+    /// `(workload, n, fusion setting, ops executed, wall ms)` per run.
     pub rows: Vec<(String, usize, String, usize, f64)>,
 }
+
+/// A named circuit family used by the fusion ablation.
+type FusionWorkload<'a> = (&'a str, Box<dyn Fn(usize) -> QuantumCircuit>);
 
 /// Compare fusion off / 2-qubit / 3-qubit on QFT and dense workloads.
 pub fn fusion_experiment(sizes: &[usize]) -> FusionResult {
     let mut rows = Vec::new();
-    let workloads: Vec<(&str, Box<dyn Fn(usize) -> QuantumCircuit>)> = vec![
+    let workloads: Vec<FusionWorkload> = vec![
         ("qft", Box::new(library::qft)),
         ("dense", Box::new(|n| library::dense_circuit(n, 3, 11))),
     ];
@@ -269,6 +280,7 @@ pub fn fusion_experiment(sizes: &[usize]) -> FusionResult {
 }
 
 impl FusionResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "E7 — gate fusion ablation (SQL backend)\n\
@@ -288,7 +300,9 @@ impl FusionResult {
 /// Out-of-core rows: (budget, ok, wall ms, spill files, spill bytes, peak).
 #[derive(Debug, Clone)]
 pub struct OutOfCoreResult {
+    /// Register width of the workload.
     pub num_qubits: usize,
+    /// `(budget, ok, wall ms, spill files, spill bytes, peak bytes)` per run.
     pub rows: Vec<(usize, bool, f64, u64, u64, usize)>,
 }
 
@@ -324,6 +338,7 @@ pub fn out_of_core_experiment(n: usize, budgets: &[usize]) -> OutOfCoreResult {
 }
 
 impl OutOfCoreResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = format!(
             "E8 — out-of-core SQL simulation of equal_superposition({})\n\
@@ -349,6 +364,7 @@ impl OutOfCoreResult {
 /// Encoding comparison rows: (n, int ms, int bytes, str ms, str bytes).
 #[derive(Debug, Clone)]
 pub struct EncodingResult {
+    /// `(n, int ms, int bytes, string ms, string bytes)` per register size.
     pub rows: Vec<(usize, f64, usize, f64, usize)>,
 }
 
@@ -450,6 +466,7 @@ fn run_string_encoded_ghz(n: usize) -> (usize, usize) {
 }
 
 impl EncodingResult {
+    /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "Encoding ablation — integer/bitwise (paper) vs TEXT bitstrings [6], GHZ(n)\n\

@@ -13,20 +13,32 @@ use crate::engine::{BackendKind, Engine, RunReport};
 /// One measurement row, flattened for CSV/JSON export.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRecord {
+    /// Name of the experiment this row belongs to.
     pub experiment: String,
+    /// Circuit-family name (e.g. `ghz`, `qft`).
     pub workload: String,
+    /// Backend name (see [`BackendKind`]).
     pub backend: String,
+    /// Register width of the measured circuit.
     pub num_qubits: usize,
+    /// Number of gates executed.
     pub gate_count: usize,
+    /// Wall-clock time of the run in microseconds.
     pub wall_micros: u128,
+    /// Peak bytes of the backend's state representation.
     pub memory_bytes: usize,
+    /// Nonzero amplitudes in the final state.
     pub support: usize,
+    /// Whether the run completed without error.
     pub ok: bool,
+    /// The error message, or empty when `ok`.
     pub error: String,
+    /// Backend-specific annotations (fusion counts, spill statistics, …).
     pub detail: String,
 }
 
 impl BenchRecord {
+    /// Flatten a [`RunReport`] into an exportable record.
     pub fn from_report(experiment: &str, r: &RunReport) -> Self {
         BenchRecord {
             experiment: experiment.to_string(),
@@ -43,6 +55,7 @@ impl BenchRecord {
         }
     }
 
+    /// Wall-clock time in milliseconds.
     pub fn wall_ms(&self) -> f64 {
         self.wall_micros as f64 / 1000.0
     }
@@ -50,11 +63,14 @@ impl BenchRecord {
 
 /// A circuit family swept over register sizes.
 pub struct Workload {
+    /// Family name used in reports.
     pub name: String,
+    /// Constructor mapping a register size to a circuit.
     pub make: Box<dyn Fn(usize) -> QuantumCircuit>,
 }
 
 impl Workload {
+    /// Define a workload from a name and a circuit constructor.
     pub fn new(name: &str, make: impl Fn(usize) -> QuantumCircuit + 'static) -> Self {
         Workload { name: name.to_string(), make: Box::new(make) }
     }

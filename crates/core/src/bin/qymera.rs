@@ -153,7 +153,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut rng = rand::rngs::StdRng::from_entropy();
             let counts = state.sample_counts(shots, &mut rng);
             let mut sorted: Vec<(u64, usize)> = counts.into_iter().collect();
-            sorted.sort_by(|a, b| b.1.cmp(&a.1));
+            sorted.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             for (s, c) in sorted.into_iter().take(top) {
                 let bits: String = (0..circuit.num_qubits)
                     .rev()

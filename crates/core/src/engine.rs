@@ -27,6 +27,7 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
+    /// Every backend, in the paper's presentation order.
     pub const ALL: [BackendKind; 5] = [
         BackendKind::Sql,
         BackendKind::StateVector,
@@ -35,6 +36,7 @@ impl BackendKind {
         BackendKind::Dd,
     ];
 
+    /// Stable lowercase name used in CLI arguments and reports.
     pub fn name(&self) -> &'static str {
         match self {
             BackendKind::Sql => "sql",
@@ -45,6 +47,7 @@ impl BackendKind {
         }
     }
 
+    /// Parse a backend from its [`Self::name`] (case-insensitive).
     pub fn from_name(name: &str) -> Option<BackendKind> {
         Self::ALL.iter().copied().find(|b| b.name() == name.to_ascii_lowercase())
     }
@@ -71,10 +74,15 @@ impl std::fmt::Display for BackendKind {
 /// "performance metrics … logged and displayed for each simulation method".
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
+    /// Backend name (see [`BackendKind::name`]).
     pub backend: String,
+    /// Name of the simulated circuit.
     pub circuit: String,
+    /// Register width of the circuit.
     pub num_qubits: usize,
+    /// Number of gates executed (before any backend-side fusion).
     pub gate_count: usize,
+    /// Wall-clock time of the run in microseconds.
     pub wall_micros: u128,
     /// Peak bytes of the backend's state representation (0 on error).
     pub memory_bytes: usize,
@@ -82,7 +90,9 @@ pub struct RunReport {
     pub support: usize,
     /// Σ|a|² of the final state (should be ≈ 1).
     pub norm_sqr: f64,
+    /// Backend-specific annotations (fusion counts, spill statistics, …).
     pub detail: String,
+    /// The failure, if the run errored (out of memory, too many qubits, …).
     pub error: Option<String>,
     /// The final state, if the run succeeded (not serialized).
     #[serde(skip)]
@@ -90,10 +100,12 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// True when the run completed without error.
     pub fn ok(&self) -> bool {
         self.error.is_none()
     }
 
+    /// Wall-clock time as a [`Duration`].
     pub fn wall(&self) -> Duration {
         Duration::from_micros(self.wall_micros as u64)
     }
@@ -101,16 +113,31 @@ impl RunReport {
 
 /// The simulation engine: runs circuits on chosen backends with shared
 /// options, timing every run.
+///
+/// # Examples
+///
+/// ```
+/// use qymera_core::{BackendKind, Engine};
+/// use qymera_circuit::library;
+///
+/// let engine = Engine::with_defaults();
+/// let report = engine.run(BackendKind::Sql, &library::ghz(3));
+/// assert!(report.ok());
+/// assert_eq!(report.support, 2); // GHZ has two nonzero amplitudes
+/// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
+    /// Options shared by every backend run (memory limit, truncation, …).
     pub opts: SimOptions,
 }
 
 impl Engine {
+    /// Engine with explicit simulation options.
     pub fn new(opts: SimOptions) -> Self {
         Engine { opts }
     }
 
+    /// Engine with default options (no memory limit).
     pub fn with_defaults() -> Self {
         Engine { opts: SimOptions::default() }
     }

@@ -12,6 +12,8 @@
 //!   exports CSV/JSON; `benchsuite::experiments` regenerates every
 //!   quantitative artifact of the paper (see DESIGN.md's experiment index).
 
+#![warn(missing_docs)]
+
 pub mod benchsuite;
 pub mod engine;
 pub mod select;

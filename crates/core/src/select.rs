@@ -18,19 +18,24 @@ use crate::engine::BackendKind;
 /// Per-backend cost estimate.
 #[derive(Debug, Clone)]
 pub struct CostEstimate {
+    /// The backend being estimated.
     pub backend: BackendKind,
     /// Relative cost units (lower is better); `f64::INFINITY` = infeasible.
     pub cost: f64,
     /// Estimated state-representation bytes.
     pub memory_bytes: f64,
+    /// Whether the backend can run this circuit inside the memory budget.
     pub feasible: bool,
+    /// Human-readable explanation of the estimate.
     pub note: String,
 }
 
 /// The selector's decision.
 #[derive(Debug, Clone)]
 pub struct Selection {
+    /// The chosen backend (cheapest feasible estimate).
     pub backend: BackendKind,
+    /// Why it was chosen, suitable for display.
     pub rationale: String,
     /// All estimates, sorted by cost ascending.
     pub ranked: Vec<CostEstimate>,
@@ -154,6 +159,22 @@ pub fn estimate_costs(circuit: &QuantumCircuit, opts: &SimOptions) -> Vec<CostEs
 }
 
 /// Choose the cheapest feasible backend.
+///
+/// # Examples
+///
+/// ```
+/// use qymera_core::select_method;
+/// use qymera_circuit::library;
+/// use qymera_sim::SimOptions;
+///
+/// // A 3-qubit GHZ is tiny: the dense state vector wins.
+/// let choice = select_method(&library::ghz(3), &SimOptions::default());
+/// assert_eq!(choice.backend.name(), "statevector");
+/// assert!(!choice.rationale.is_empty());
+///
+/// // The ranking always covers every backend.
+/// assert_eq!(choice.ranked.len(), 5);
+/// ```
 pub fn select_method(circuit: &QuantumCircuit, opts: &SimOptions) -> Selection {
     let ranked = estimate_costs(circuit, opts);
     let best = ranked

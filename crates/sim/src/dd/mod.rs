@@ -78,8 +78,11 @@ pub struct DdPackage {
     mnodes: Vec<MNode>,
     munique: HashMap<MKey, NodeId>,
     apply_cache: HashMap<(NodeId, NodeId), VEdge>,
-    add_cache: HashMap<(NodeId, (i64, i64), NodeId, (i64, i64)), VEdge>,
+    add_cache: HashMap<AddKey, VEdge>,
 }
+
+/// Key of the addition cache: both operand edges as (node, weight) pairs.
+type AddKey = (NodeId, (i64, i64), NodeId, (i64, i64));
 
 impl DdPackage {
     pub fn new() -> Self {

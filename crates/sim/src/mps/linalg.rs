@@ -173,7 +173,7 @@ mod tests {
         let mut diff = a.clone();
         for i in 0..a.rows() {
             for j in 0..a.cols() {
-                diff[(i, j)] = diff[(i, j)] - back[(i, j)];
+                diff[(i, j)] -= back[(i, j)];
             }
         }
         assert!(

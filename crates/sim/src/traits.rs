@@ -256,7 +256,7 @@ mod tests {
         let mut rotated = o.clone();
         let phase = Complex64::from_phase(1.2);
         for a in rotated.amplitudes.values_mut() {
-            *a = *a * phase;
+            *a *= phase;
         }
         assert!(o.max_amplitude_diff(&rotated) < 1e-12);
         // but a genuinely different state has a large diff

@@ -15,15 +15,62 @@ use std::sync::Arc;
 use crate::ast::{DataType, Statement};
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::exec::{build_stream, ExecContext};
+use crate::exec::vector::{build_batch_stream, BatchToRow};
+use crate::exec::{build_stream, ExecContext, RowStream};
 use crate::expr::bind;
 use crate::parser::{parse_script, parse_statement};
-use crate::plan::logical::plan_query;
+use crate::plan::logical::{plan_query, Plan};
 use crate::plan::optimizer::optimize;
 use crate::schema::RelSchema;
 use crate::storage::budget::MemoryBudget;
 use crate::storage::spill::{Row, SpillDir};
 use crate::value::Value;
+
+/// Plans deeper than this run their pull pipeline on a dedicated thread with
+/// a large stack. The translator emits one CTE (join + aggregate + project)
+/// per gate, so plan depth grows linearly with circuit length, and both
+/// executors keep one live frame set per pipeline stage while the top
+/// aggregate's consume phase is in flight.
+const DEEP_PLAN_DEPTH: usize = 64;
+
+/// Stack size for the dedicated execution thread (fits thousands of gates).
+const EXEC_STACK_BYTES: usize = 512 * 1024 * 1024;
+
+/// Run `f` on the caller's stack for shallow plans, or on a dedicated
+/// big-stack thread for deep ones (a CTE chain of hundreds of gates would
+/// otherwise overflow the default thread stack mid-pipeline).
+fn with_exec_stack<T: Send>(depth: usize, f: impl FnOnce() -> T + Send) -> T {
+    if depth <= DEEP_PLAN_DEPTH {
+        return f();
+    }
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .name("qymera-exec".into())
+            .stack_size(EXEC_STACK_BYTES)
+            .spawn_scoped(s, f)
+            .expect("cannot spawn execution thread")
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+    })
+}
+
+/// Which physical execution path queries run on.
+///
+/// The vectorized [`ExecPath::Batch`] path is the default; the row path is
+/// kept both as the reference implementation (row/batch equivalence is
+/// enforced by tests) and as the execution strategy for operators without a
+/// vectorized implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Vectorized batch-at-a-time execution over columnar [`RowBatch`]
+    /// chunks (see [`crate::exec::vector`]).
+    ///
+    /// [`RowBatch`]: crate::exec::batch::RowBatch
+    #[default]
+    Batch,
+    /// Row-at-a-time pull execution (`RowStream`), one virtual call per row.
+    Row,
+}
 
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +158,7 @@ pub struct Database {
     catalog: Catalog,
     budget: MemoryBudget,
     spill: Arc<SpillDir>,
+    path: ExecPath,
     statements: u64,
     rows_returned: u64,
 }
@@ -127,16 +175,30 @@ impl Database {
         Self::with_budget(MemoryBudget::with_limit(bytes))
     }
 
+    /// Database over an externally shared [`MemoryBudget`].
     pub fn with_budget(budget: MemoryBudget) -> Self {
         Database {
             catalog: Catalog::new(),
             budget,
             spill: SpillDir::new().expect("cannot create spill directory"),
+            path: ExecPath::default(),
             statements: 0,
             rows_returned: 0,
         }
     }
 
+    /// Select the physical execution path for subsequent queries
+    /// ([`ExecPath::Batch`] is the default).
+    pub fn set_exec_path(&mut self, path: ExecPath) {
+        self.path = path;
+    }
+
+    /// The currently selected execution path.
+    pub fn exec_path(&self) -> ExecPath {
+        self.path
+    }
+
+    /// The shared memory ledger charged by tables and operators.
     pub fn budget(&self) -> &MemoryBudget {
         &self.budget
     }
@@ -159,6 +221,18 @@ impl Database {
         }
     }
 
+    /// Build a row source for an already-optimized plan on the selected
+    /// execution path. The batch path is adapted to rows at the very top —
+    /// every operator below still runs vectorized.
+    fn build_row_source(&self, plan: &Plan, ctx: &ExecContext) -> Result<Box<dyn RowStream>> {
+        Ok(match self.path {
+            ExecPath::Batch => {
+                Box::new(BatchToRow::new(build_batch_stream(plan, &self.catalog, ctx)?))
+            }
+            ExecPath::Row => build_stream(plan, &self.catalog, ctx)?,
+        })
+    }
+
     /// `EXPLAIN ANALYZE`: execute the query with per-operator instrumentation
     /// and render the plan annotated with row counts and inclusive times.
     pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
@@ -169,23 +243,33 @@ impl Database {
             return Err(Error::Plan("EXPLAIN ANALYZE requires a query".into()));
         };
         let plan = optimize(plan_query(&q, &self.catalog)?);
-        let stats = Rc::new(RefCell::new(Vec::new()));
-        let mut ctx = self.ctx();
-        ctx.instrument = Some(Rc::clone(&stats));
-        let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
-        let mut total_rows = 0u64;
-        while stream.next_row()?.is_some() {
-            total_rows += 1;
-        }
-        drop(stream);
+        let (nodes, total_rows) = with_exec_stack(plan.depth(), || {
+            let stats = Rc::new(RefCell::new(Vec::new()));
+            let mut ctx = self.ctx();
+            ctx.instrument = Some(Rc::clone(&stats));
+            let mut stream = self.build_row_source(&plan, &ctx)?;
+            let mut total_rows = 0u64;
+            while stream.next_row()?.is_some() {
+                total_rows += 1;
+            }
+            drop(stream);
+            let nodes: Vec<_> = stats.borrow().clone();
+            Ok::<_, Error>((nodes, total_rows))
+        })?;
         let mut out = String::new();
-        for node in stats.borrow().iter() {
+        for node in nodes.iter() {
+            let batches = if node.batches_out > 0 {
+                format!("batches={:<6} ", node.batches_out)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{}{:<28} rows={:<9} time={:.3} ms
+                "{}{:<28} rows={:<9} {}time={:.3} ms
 ",
                 "  ".repeat(node.depth),
                 node.label,
                 node.rows_out,
+                batches,
                 node.nanos as f64 / 1e6
             ));
         }
@@ -251,12 +335,15 @@ impl Database {
             Statement::Query(q) => {
                 let plan = optimize(plan_query(&q, &self.catalog)?);
                 let schema = plan.schema();
-                let ctx = self.ctx();
-                let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
-                let mut rows = Vec::new();
-                while let Some(row) = stream.next_row()? {
-                    rows.push(row);
-                }
+                let rows = with_exec_stack(plan.depth(), || {
+                    let ctx = self.ctx();
+                    let mut stream = self.build_row_source(&plan, &ctx)?;
+                    let mut rows = Vec::new();
+                    while let Some(row) = stream.next_row()? {
+                        rows.push(row);
+                    }
+                    Ok::<_, Error>(rows)
+                })?;
                 self.rows_returned += rows.len() as u64;
                 Ok(ResultSet { columns: schema.names(), rows, affected: 0 })
             }
@@ -272,9 +359,16 @@ impl Database {
             return Err(Error::Plan("CREATE TABLE AS requires a query".into()));
         };
         let plan = optimize(plan_query(&q, &self.catalog)?);
+        let depth = plan.depth();
+        with_exec_stack(depth, move || self.create_table_as_exec(name, plan))
+    }
+
+    /// Execution half of [`Self::create_table_as`] (runs on the execution
+    /// stack for deep plans).
+    fn create_table_as_exec(&mut self, name: &str, plan: Plan) -> Result<usize> {
         let schema = plan.schema();
         let ctx = self.ctx();
-        let mut stream = build_stream(&plan, &self.catalog, &ctx)?;
+        let mut stream = self.build_row_source(&plan, &ctx)?;
 
         // Column types are inferred from the first row; later rows must
         // coerce losslessly (the Qymera translator guarantees this by casting

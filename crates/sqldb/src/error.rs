@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        let io = std::io::Error::other("disk gone");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
     }

@@ -26,12 +26,14 @@ use crate::value::{GroupKey, Value};
 
 use super::{eval_values, ExecContext, RowStream};
 
-const PARTITIONS: usize = 16;
-const MAX_DEPTH: u32 = 4;
+pub(crate) const PARTITIONS: usize = 16;
+pub(crate) const MAX_DEPTH: u32 = 4;
 
-/// Accumulator state for one aggregate in one group.
+/// Accumulator state for one aggregate in one group. Shared with the
+/// vectorized aggregate in [`super::vector`], which reuses the same partial
+/// row format so spilled partitions are interchangeable between paths.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Sum(Option<Value>),
     Count(i64),
     Min(Option<Value>),
@@ -42,7 +44,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(agg: &AggExpr) -> Acc {
+    pub(crate) fn new(agg: &AggExpr) -> Acc {
         if agg.distinct {
             return Acc::Distinct { func: agg.func, seen: HashMap::new() };
         }
@@ -55,7 +57,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, arg: Option<Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, arg: Option<Value>) -> Result<()> {
         match self {
             Acc::Sum(state) => {
                 let v = arg.expect("SUM requires an argument");
@@ -119,14 +121,14 @@ impl Acc {
     }
 
     /// Number of values this accumulator contributes to a partial-state row.
-    fn partial_arity(agg: &AggExpr) -> usize {
+    pub(crate) fn partial_arity(agg: &AggExpr) -> usize {
         match agg.func {
             AggFunc::Avg => 2,
             _ => 1,
         }
     }
 
-    fn write_partial(&self, out: &mut Row) -> Result<()> {
+    pub(crate) fn write_partial(&self, out: &mut Row) -> Result<()> {
         match self {
             Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => {
                 out.push(v.clone().unwrap_or(Value::Null))
@@ -145,7 +147,7 @@ impl Acc {
         Ok(())
     }
 
-    fn merge_partial(&mut self, vals: &[Value]) -> Result<()> {
+    pub(crate) fn merge_partial(&mut self, vals: &[Value]) -> Result<()> {
         match self {
             Acc::Sum(state) => {
                 if !vals[0].is_null() {
@@ -189,7 +191,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finalize(self) -> Result<Value> {
+    pub(crate) fn finalize(self) -> Result<Value> {
         Ok(match self {
             Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
             Acc::Count(n) => Value::Int(n),
@@ -238,7 +240,7 @@ impl Acc {
         })
     }
 
-    fn heap_bytes(&self) -> usize {
+    pub(crate) fn heap_bytes(&self) -> usize {
         match self {
             Acc::Distinct { seen, .. } => {
                 48 + seen.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes() + 16).sum::<usize>()
@@ -248,7 +250,7 @@ impl Acc {
     }
 }
 
-type GroupState = (Vec<Value>, Vec<Acc>); // (representative key values, accumulators)
+pub(crate) type GroupState = (Vec<Value>, Vec<Acc>); // (representative key values, accumulators)
 
 /// The aggregation operator.
 pub struct HashAggregate {
@@ -294,11 +296,11 @@ impl HashAggregate {
         reps.iter().map(Value::group_key).collect()
     }
 
-    fn entry_bytes(reps: &[Value], accs: &[Acc]) -> usize {
+    pub(crate) fn entry_bytes(reps: &[Value], accs: &[Acc]) -> usize {
         row_bytes(reps) + accs.iter().map(Acc::heap_bytes).sum::<usize>() + 64
     }
 
-    fn partition_of(keys: &[GroupKey], depth: u32) -> usize {
+    pub(crate) fn partition_of(keys: &[GroupKey], depth: u32) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         // Salt by depth so recursive re-partitioning actually redistributes.
         (0x9e3779b97f4a7c15u64 ^ u64::from(depth)).hash(&mut h);

@@ -18,8 +18,9 @@ use crate::value::{GroupKey, Value};
 use super::{eval_keys, ExecContext, RowStream};
 
 /// Uncharged rows a join build side may hold when the shared budget is
-/// exhausted (the per-operator working-set floor).
-const BUILD_OVERDRAFT_ROWS: usize = 256;
+/// exhausted (the per-operator working-set floor). Shared with the
+/// vectorized join in [`super::vector`] so both paths enforce one policy.
+pub(crate) const BUILD_OVERDRAFT_ROWS: usize = 256;
 
 /// Choose a join strategy for the given condition.
 pub fn build_join(

@@ -1,12 +1,19 @@
-//! Physical execution: pull-based row streams over the bound [`Plan`].
+//! Physical execution: pull-based row streams over the bound [`Plan`], plus
+//! the vectorized batch path in [`vector`].
 //!
 //! Simple operators (scan, filter, project, limit, union) live here; the
 //! blocking operators with out-of-core behaviour get their own modules:
-//! [`join`], [`aggregate`], [`sort`].
+//! [`join`], [`aggregate`], [`sort`]. The columnar [`batch`] chunks and the
+//! batch-at-a-time operator set in [`vector`] form the engine's default
+//! execution path; the row streams below remain both the reference
+//! implementation (row/batch equivalence is tested) and the fallback for
+//! operators without a vectorized twin.
 
 pub mod aggregate;
+pub mod batch;
 pub mod join;
 pub mod sort;
+pub mod vector;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -30,11 +37,16 @@ pub trait RowStream {
 /// Per-operator metrics collected under `EXPLAIN ANALYZE`.
 #[derive(Debug, Clone)]
 pub struct NodeStats {
+    /// Operator label as rendered in the plan tree.
     pub label: String,
+    /// Nesting depth in the plan tree (for indentation).
     pub depth: usize,
+    /// Total rows this operator emitted.
     pub rows_out: u64,
-    /// Inclusive wall time spent inside this operator's `next_row` calls
-    /// (children included, since execution is pull-based).
+    /// Batches emitted on the vectorized path; 0 under row execution.
+    pub batches_out: u64,
+    /// Inclusive wall time spent inside this operator's `next_row` /
+    /// `next_batch` calls (children included, since execution is pull-based).
     pub nanos: u128,
 }
 
@@ -74,6 +86,22 @@ fn node_label(plan: &Plan) -> String {
     }
 }
 
+/// Reserve a `NodeStats` slot for `plan` when instrumentation is on (shared
+/// by both executors so the `EXPLAIN ANALYZE` slot protocol lives here only).
+pub(crate) fn instrument_slot(ctx: &ExecContext, plan: &Plan, depth: usize) -> Option<usize> {
+    ctx.instrument.as_ref().map(|stats| {
+        let mut v = stats.borrow_mut();
+        v.push(NodeStats {
+            label: node_label(plan),
+            depth,
+            rows_out: 0,
+            batches_out: 0,
+            nanos: 0,
+        });
+        v.len() - 1
+    })
+}
+
 fn build_stream_at(
     plan: &Plan,
     catalog: &Catalog,
@@ -81,11 +109,7 @@ fn build_stream_at(
     depth: usize,
 ) -> Result<Box<dyn RowStream>> {
     // Reserve this node's stats slot before recursing (pre-order render).
-    let slot = ctx.instrument.as_ref().map(|stats| {
-        let mut v = stats.borrow_mut();
-        v.push(NodeStats { label: node_label(plan), depth, rows_out: 0, nanos: 0 });
-        v.len() - 1
-    });
+    let slot = instrument_slot(ctx, plan, depth);
     let stream = build_stream_inner(plan, catalog, ctx, depth)?;
     Ok(match (slot, &ctx.instrument) {
         (Some(id), Some(stats)) => Box::new(Instrumented {

@@ -1,0 +1,1227 @@
+//! Vectorized (batch-at-a-time) physical execution.
+//!
+//! This is the default execution path of the engine: instead of pulling one
+//! row per virtual call through [`RowStream`], operators exchange columnar
+//! [`RowBatch`]es of ~[`BATCH_SIZE`] rows, amortizing dispatch and running
+//! the expression kernels of [`crate::vexpr`] over primitive slices. The
+//! operator set covers exactly the chain Qymera's translator emits for gate
+//! application — scan, filter, project, hash join, hash aggregate (plus
+//! limit/union/alias) — which is the hot path of the entire SQL backend.
+//!
+//! Operators without a vectorized implementation (sort, outer and non-equi
+//! joins, DISTINCT aggregates) run their proven row implementations behind
+//! the [`BatchToRow`]/[`RowToBatch`] adapter shims, so every plan executes on
+//! either path with identical results. One caveat, standard for vectorized
+//! engines: **error detection is batch-granular**. Expressions evaluate over
+//! a whole batch before downstream operators see any of it, so a failing row
+//! (say `10 / x` with `x = 0`) raises its error even when a downstream
+//! `LIMIT` would have stopped the row path before reaching that row.
+//!
+//! Memory discipline matches the row path: join builds and aggregation
+//! tables charge the shared [`MemoryBudget`](crate::storage::budget), and the
+//! vectorized aggregate spills partial rows in the same partition format as
+//! [`aggregate::HashAggregate`](super::aggregate::HashAggregate), including
+//! the recursive re-partition merge. The one deliberate difference: budget
+//! checks happen per batch rather than per row, so a table may transiently
+//! overshoot its reservation by at most one batch of new groups before it
+//! flushes.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::ast::JoinKind;
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::expr::BoundExpr;
+use crate::plan::logical::{AggExpr, AggFunc, Plan};
+use crate::plan::optimizer::extract_equi_keys;
+use crate::storage::budget::Reservation;
+use crate::storage::spill::{row_bytes, Row, SpillReader, SpillWriter};
+use crate::value::{GroupKey, Value};
+
+use super::aggregate::{Acc, GroupState, HashAggregate, MAX_DEPTH, PARTITIONS};
+use super::batch::{Column, RowBatch, BATCH_SIZE};
+use super::join::{self, BUILD_OVERDRAFT_ROWS};
+use super::{instrument_slot, sort, ExecContext, NodeStats, RowStream};
+
+/// A pull-based batch iterator. `next_batch` returns `Ok(None)` at end of
+/// stream; emitted batches are never empty.
+pub trait BatchStream {
+    /// Pull the next batch, or `None` at end of stream.
+    fn next_batch(&mut self) -> Result<Option<RowBatch>>;
+}
+
+/// Build an executable batch stream for `plan`. Base-table snapshots are
+/// taken here, so the stream sees a consistent state even if tables change.
+pub fn build_batch_stream(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+) -> Result<Box<dyn BatchStream>> {
+    build_batch_stream_at(plan, catalog, ctx, 0)
+}
+
+fn build_batch_stream_at(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+    depth: usize,
+) -> Result<Box<dyn BatchStream>> {
+    // Reserve this node's stats slot before recursing (pre-order render).
+    let slot = instrument_slot(ctx, plan, depth);
+    let stream = build_batch_stream_inner(plan, catalog, ctx, depth)?;
+    Ok(match (slot, &ctx.instrument) {
+        (Some(id), Some(stats)) => Box::new(InstrumentedBatch {
+            inner: stream,
+            id,
+            stats: Rc::clone(stats),
+        }),
+        _ => stream,
+    })
+}
+
+fn build_batch_stream_inner(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &ExecContext,
+    depth: usize,
+) -> Result<Box<dyn BatchStream>> {
+    Ok(match plan {
+        Plan::Scan { table, .. } => {
+            let snapshot = catalog.get(table)?.snapshot();
+            Box::new(BatchScan { rows: snapshot, next: 0 })
+        }
+        Plan::One => Box::new(OneBatch { emitted: false }),
+        Plan::Filter { input, predicate } => Box::new(BatchFilter {
+            input: build_batch_stream_at(input, catalog, ctx, depth + 1)?,
+            predicate: predicate.clone(),
+        }),
+        Plan::Project { input, exprs, .. } => Box::new(BatchProject {
+            input: build_batch_stream_at(input, catalog, ctx, depth + 1)?,
+            exprs: exprs.clone(),
+        }),
+        Plan::Join { left, right, kind, on, .. } => {
+            let left_cols = left.schema().len();
+            let right_cols = right.schema().len();
+            // Decide the strategy before building children (each child
+            // registers exactly one instrumentation slot).
+            let equi = match (kind, on) {
+                (JoinKind::Inner, Some(cond)) => {
+                    let (lk, rk, residual) = extract_equi_keys(cond.clone(), left_cols);
+                    if lk.is_empty() {
+                        None
+                    } else {
+                        Some((lk, rk, residual))
+                    }
+                }
+                _ => None,
+            };
+            let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
+            let r = build_batch_stream_at(right, catalog, ctx, depth + 1)?;
+            match equi {
+                // Inner equi-joins get the vectorized probe ...
+                Some((lk, rk, residual)) => {
+                    Box::new(BatchHashJoin::create(l, r, lk, rk, residual, ctx)?)
+                }
+                // ... everything else (cross, outer, non-equi) runs the row
+                // join between adapter shims.
+                None => Box::new(RowToBatch::new(join::build_join(
+                    Box::new(BatchToRow::new(l)),
+                    Box::new(BatchToRow::new(r)),
+                    left_cols,
+                    right_cols,
+                    *kind,
+                    on.clone(),
+                    ctx,
+                )?)),
+            }
+        }
+        Plan::Aggregate { input, group_by, aggs, .. } => {
+            let child = build_batch_stream_at(input, catalog, ctx, depth + 1)?;
+            if aggs.iter().any(|a| a.distinct) {
+                // DISTINCT accumulators cannot spill; keep the row operator.
+                Box::new(RowToBatch::new(Box::new(HashAggregate::new(
+                    Box::new(BatchToRow::new(child)),
+                    group_by.clone(),
+                    aggs.clone(),
+                    ctx.clone(),
+                ))))
+            } else {
+                Box::new(BatchHashAggregate::new(
+                    child,
+                    group_by.clone(),
+                    aggs.clone(),
+                    ctx.clone(),
+                ))
+            }
+        }
+        Plan::Sort { input, keys } => Box::new(RowToBatch::new(Box::new(
+            sort::ExternalSort::new(
+                Box::new(BatchToRow::new(build_batch_stream_at(
+                    input,
+                    catalog,
+                    ctx,
+                    depth + 1,
+                )?)),
+                keys.clone(),
+                ctx.clone(),
+            ),
+        ))),
+        Plan::Limit { input, limit, offset } => Box::new(BatchLimit {
+            input: build_batch_stream_at(input, catalog, ctx, depth + 1)?,
+            remaining: limit.unwrap_or(u64::MAX),
+            to_skip: *offset,
+        }),
+        Plan::UnionAll { inputs } => {
+            let streams = inputs
+                .iter()
+                .map(|p| build_batch_stream_at(p, catalog, ctx, depth + 1))
+                .collect::<Result<Vec<_>>>()?;
+            Box::new(BatchUnion { streams, current: 0 })
+        }
+        Plan::Alias { input, .. } => build_batch_stream_at(input, catalog, ctx, depth + 1)?,
+    })
+}
+
+/// Batch/row/time instrumentation wrapper (`EXPLAIN ANALYZE`).
+struct InstrumentedBatch {
+    inner: Box<dyn BatchStream>,
+    id: usize,
+    stats: Rc<std::cell::RefCell<Vec<NodeStats>>>,
+}
+
+impl BatchStream for InstrumentedBatch {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        let start = Instant::now();
+        let out = self.inner.next_batch();
+        let elapsed = start.elapsed().as_nanos();
+        let mut stats = self.stats.borrow_mut();
+        let node = &mut stats[self.id];
+        node.nanos += elapsed;
+        if let Ok(Some(batch)) = &out {
+            node.rows_out += batch.num_rows() as u64;
+            node.batches_out += 1;
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter shims
+// ---------------------------------------------------------------------------
+
+/// Expose a [`BatchStream`] as a [`RowStream`] (feeds row-only operators).
+pub struct BatchToRow {
+    input: Box<dyn BatchStream>,
+    current: std::vec::IntoIter<Row>,
+}
+
+impl BatchToRow {
+    /// Wrap `input` for row-at-a-time consumption.
+    pub fn new(input: Box<dyn BatchStream>) -> Self {
+        BatchToRow { input, current: Vec::new().into_iter() }
+    }
+}
+
+impl RowStream for BatchToRow {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.current.next() {
+                return Ok(Some(row));
+            }
+            match self.input.next_batch()? {
+                Some(batch) => self.current = batch.into_rows().into_iter(),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Expose a [`RowStream`] as a [`BatchStream`] (lifts row-only operators
+/// back into the batch pipeline).
+pub struct RowToBatch {
+    input: Box<dyn RowStream>,
+    done: bool,
+}
+
+impl RowToBatch {
+    /// Wrap `input` for batch-at-a-time consumption.
+    pub fn new(input: Box<dyn RowStream>) -> Self {
+        RowToBatch { input, done: false }
+    }
+}
+
+impl BatchStream for RowToBatch {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut rows = Vec::with_capacity(BATCH_SIZE);
+        while rows.len() < BATCH_SIZE {
+            match self.input.next_row()? {
+                Some(row) => rows.push(row),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_owned_rows(rows)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf and stateless operators
+// ---------------------------------------------------------------------------
+
+struct BatchScan {
+    rows: std::sync::Arc<Vec<Row>>,
+    next: usize,
+}
+
+impl BatchStream for BatchScan {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.next >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.next + BATCH_SIZE).min(self.rows.len());
+        let batch = RowBatch::from_rows(&self.rows[self.next..end]);
+        self.next = end;
+        Ok(Some(batch))
+    }
+}
+
+struct OneBatch {
+    emitted: bool,
+}
+
+impl BatchStream for OneBatch {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.emitted {
+            Ok(None)
+        } else {
+            self.emitted = true;
+            Ok(Some(RowBatch::zero_columns(1)))
+        }
+    }
+}
+
+/// Row indices of `col` whose truthiness is exactly `TRUE` (NULL filters out).
+fn truthy_selection(col: &Column) -> Result<Vec<u32>> {
+    Ok(match col {
+        Column::Int(v) => v
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0)
+            .map(|(i, _)| i as u32)
+            .collect(),
+        Column::Float(v) => v
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(i, _)| i as u32)
+            .collect(),
+        Column::Generic(vals) => {
+            let mut sel = Vec::new();
+            for (i, v) in vals.iter().enumerate() {
+                if v.as_bool()? == Some(true) {
+                    sel.push(i as u32);
+                }
+            }
+            sel
+        }
+    })
+}
+
+struct BatchFilter {
+    input: Box<dyn BatchStream>,
+    predicate: BoundExpr,
+}
+
+impl BatchStream for BatchFilter {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let mask = self.predicate.eval_batch(&batch)?;
+            let sel = truthy_selection(&mask)?;
+            if sel.is_empty() {
+                continue;
+            }
+            if sel.len() == batch.num_rows() {
+                return Ok(Some(batch));
+            }
+            return Ok(Some(batch.gather(&sel)));
+        }
+        Ok(None)
+    }
+}
+
+struct BatchProject {
+    input: Box<dyn BatchStream>,
+    exprs: Vec<BoundExpr>,
+}
+
+impl BatchStream for BatchProject {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        match self.input.next_batch()? {
+            Some(batch) => {
+                let cols = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval_batch(&batch))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(RowBatch::from_columns(cols)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct BatchLimit {
+    input: Box<dyn BatchStream>,
+    remaining: u64,
+    to_skip: u64,
+}
+
+impl BatchStream for BatchLimit {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        while let Some(mut batch) = self.input.next_batch()? {
+            if self.to_skip > 0 {
+                let skip = (self.to_skip).min(batch.num_rows() as u64) as usize;
+                batch.skip(skip);
+                self.to_skip -= skip as u64;
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            if (batch.num_rows() as u64) > self.remaining {
+                batch.truncate(self.remaining as usize);
+            }
+            self.remaining -= batch.num_rows() as u64;
+            return Ok(Some(batch));
+        }
+        Ok(None)
+    }
+}
+
+struct BatchUnion {
+    streams: Vec<Box<dyn BatchStream>>,
+    current: usize,
+}
+
+impl BatchStream for BatchUnion {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        while self.current < self.streams.len() {
+            if let Some(batch) = self.streams[self.current].next_batch()? {
+                return Ok(Some(batch));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized hash join (inner, equi-keys)
+// ---------------------------------------------------------------------------
+
+/// Join-key hash table, specialized for the single-key case (the gate join
+/// `H.in_s = (T0.s & mask)` has exactly one key) to skip a `Vec` allocation
+/// per probed row.
+enum KeyMap {
+    Single(HashMap<GroupKey, Vec<u32>>),
+    Multi(HashMap<Vec<GroupKey>, Vec<u32>>),
+}
+
+/// Hash join: builds on the right input, probes batch-at-a-time with the
+/// left. Inner equi-joins only; other shapes use the row operator.
+struct BatchHashJoin {
+    probe: Box<dyn BatchStream>,
+    build: RowBatch,
+    table: KeyMap,
+    left_keys: Vec<BoundExpr>,
+    residual: Option<BoundExpr>,
+    /// A probe batch still being drained (skewed keys can fan one probe
+    /// batch out into many output batches): the batch, its evaluated key
+    /// columns, and the next probe row to resume from.
+    pending: Option<(RowBatch, Vec<Column>, usize)>,
+    _reservation: Reservation,
+}
+
+impl BatchHashJoin {
+    fn create(
+        probe: Box<dyn BatchStream>,
+        mut build_input: Box<dyn BatchStream>,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        let mut table = if left_keys.len() == 1 {
+            KeyMap::Single(HashMap::new())
+        } else {
+            KeyMap::Multi(HashMap::new())
+        };
+        let mut kept: Vec<Row> = Vec::new();
+        let mut reservation = Reservation::empty(&ctx.budget);
+        let mut overdraft_rows = 0usize;
+        while let Some(batch) = build_input.next_batch()? {
+            let key_cols = right_keys
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            for i in 0..batch.num_rows() {
+                let keys: Vec<GroupKey> =
+                    key_cols.iter().map(|c| c.group_key_at(i)).collect();
+                // SQL semantics: NULL keys never match.
+                if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
+                    continue;
+                }
+                let row = batch.row(i);
+                let bytes =
+                    row_bytes(&row) + keys.iter().map(GroupKey::heap_bytes).sum::<usize>();
+                if !reservation.try_grow(bytes) {
+                    overdraft_rows += 1;
+                    if overdraft_rows > BUILD_OVERDRAFT_ROWS {
+                        return Err(Error::OutOfMemory {
+                            requested: bytes,
+                            budget: ctx.budget.limit(),
+                        });
+                    }
+                }
+                let idx = kept.len() as u32;
+                kept.push(row);
+                match &mut table {
+                    KeyMap::Single(m) => m
+                        .entry(keys.into_iter().next().expect("single key"))
+                        .or_default()
+                        .push(idx),
+                    KeyMap::Multi(m) => m.entry(keys).or_default().push(idx),
+                }
+            }
+        }
+        Ok(BatchHashJoin {
+            probe,
+            build: RowBatch::from_owned_rows(kept),
+            table,
+            left_keys,
+            residual,
+            pending: None,
+            _reservation: reservation,
+        })
+    }
+
+    fn matches_of(&self, key_cols: &[Column], i: usize) -> Option<&[u32]> {
+        match &self.table {
+            KeyMap::Single(m) => {
+                let k = key_cols[0].group_key_at(i);
+                if matches!(k, GroupKey::Null) {
+                    return None;
+                }
+                m.get(&k).map(Vec::as_slice)
+            }
+            KeyMap::Multi(m) => {
+                let keys: Vec<GroupKey> =
+                    key_cols.iter().map(|c| c.group_key_at(i)).collect();
+                if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
+                    return None;
+                }
+                m.get(&keys).map(Vec::as_slice)
+            }
+        }
+    }
+}
+
+impl BatchStream for BatchHashJoin {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            // Get a probe batch: resume a partially drained one, else pull.
+            let (batch, key_cols, start) = match self.pending.take() {
+                Some(p) => p,
+                None => match self.probe.next_batch()? {
+                    Some(batch) => {
+                        let key_cols = self
+                            .left_keys
+                            .iter()
+                            .map(|e| e.eval_batch(&batch))
+                            .collect::<Result<Vec<_>>>()?;
+                        (batch, key_cols, 0)
+                    }
+                    None => return Ok(None),
+                },
+            };
+            // Selection vectors pairing probe rows with matching build rows.
+            // Stop at ~BATCH_SIZE output pairs so a skewed many-to-many key
+            // cannot make one output batch arbitrarily large; the probe
+            // position is saved and resumed on the next call.
+            let mut probe_sel: Vec<u32> = Vec::new();
+            let mut build_sel: Vec<u32> = Vec::new();
+            let mut i = start;
+            while i < batch.num_rows() && probe_sel.len() < BATCH_SIZE {
+                if let Some(matches) = self.matches_of(&key_cols, i) {
+                    for &b in matches {
+                        probe_sel.push(i as u32);
+                        build_sel.push(b);
+                    }
+                }
+                i += 1;
+            }
+            if i < batch.num_rows() {
+                let joined = RowBatch::hstack(
+                    batch.gather(&probe_sel),
+                    self.build.gather(&build_sel),
+                );
+                self.pending = Some((batch, key_cols, i));
+                if let Some(out) = self.apply_residual(joined)? {
+                    return Ok(Some(out));
+                }
+                continue;
+            }
+            if probe_sel.is_empty() {
+                continue;
+            }
+            let joined =
+                RowBatch::hstack(batch.gather(&probe_sel), self.build.gather(&build_sel));
+            if let Some(out) = self.apply_residual(joined)? {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+impl BatchHashJoin {
+    /// Filter a joined batch through the residual predicate, if any; `None`
+    /// when every row was rejected (caller continues the probe loop).
+    fn apply_residual(&self, joined: RowBatch) -> Result<Option<RowBatch>> {
+        match &self.residual {
+            Some(pred) => {
+                let mask = pred.eval_batch(&joined)?;
+                let sel = truthy_selection(&mask)?;
+                if sel.is_empty() {
+                    Ok(None)
+                } else if sel.len() == joined.num_rows() {
+                    Ok(Some(joined))
+                } else {
+                    Ok(Some(joined.gather(&sel)))
+                }
+            }
+            None => Ok(Some(joined)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized hash aggregate
+// ---------------------------------------------------------------------------
+
+/// In-memory aggregation table. `Fast` is the gate-application specialization
+/// — single `INTEGER` group key, all aggregates `SUM` over `DOUBLE` lanes —
+/// which keeps accumulators in flat `f64` arrays; anything else (or any batch
+/// whose lanes don't qualify) lives in the generic [`Acc`] table.
+enum AggTable {
+    Fast {
+        map: HashMap<i64, u32>,
+        keys: Vec<i64>,
+        /// `sums[agg][group]` running totals.
+        sums: Vec<Vec<f64>>,
+    },
+    Generic(HashMap<Vec<GroupKey>, GroupState>),
+}
+
+/// The vectorized aggregation operator. Same two-phase hybrid hash/grace
+/// scheme as the row [`HashAggregate`] — consume (spilling partial rows into
+/// [`PARTITIONS`] hash partitions under memory pressure), then merge each
+/// partition recursively — with batched input and expression evaluation.
+pub struct BatchHashAggregate {
+    input: Option<Box<dyn BatchStream>>,
+    group_by: Vec<BoundExpr>,
+    aggs: Vec<AggExpr>,
+    ctx: ExecContext,
+    reservation: Reservation,
+    /// Static eligibility for the fast table (per-batch lanes still checked).
+    fast_eligible: bool,
+    state: AggState,
+}
+
+enum AggState {
+    Pending,
+    Draining {
+        groups: Vec<GroupState>,
+        /// Spilled partitions still to merge (reader, depth).
+        pending: Vec<(SpillReader, u32)>,
+    },
+    Done,
+}
+
+impl BatchHashAggregate {
+    /// Create the operator over `input`.
+    pub fn new(
+        input: Box<dyn BatchStream>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Self {
+        let fast_eligible = group_by.len() == 1
+            && !aggs.is_empty()
+            && aggs
+                .iter()
+                .all(|a| a.func == AggFunc::Sum && !a.distinct && a.arg.is_some());
+        let reservation = Reservation::empty(&ctx.budget);
+        BatchHashAggregate {
+            input: Some(input),
+            group_by,
+            aggs,
+            ctx,
+            reservation,
+            fast_eligible,
+            state: AggState::Pending,
+        }
+    }
+
+    fn new_table(&self) -> AggTable {
+        if self.fast_eligible {
+            AggTable::Fast {
+                map: HashMap::new(),
+                keys: Vec::new(),
+                sums: vec![Vec::new(); self.aggs.len()],
+            }
+        } else {
+            AggTable::Generic(HashMap::new())
+        }
+    }
+
+    /// Bytes one fast-table group charges (mirrors `entry_bytes` for a
+    /// one-`INTEGER`-key entry with plain accumulators).
+    fn fast_entry_bytes(&self) -> usize {
+        HashAggregate::entry_bytes(
+            &[Value::Int(0)],
+            &self.aggs.iter().map(Acc::new).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Demote the fast table into generic [`Acc`] form (a batch arrived whose
+    /// lanes don't qualify — e.g. `HUGEINT` indices past 63 qubits).
+    fn demote(table: &mut AggTable) {
+        if let AggTable::Fast { keys, sums, .. } = table {
+            let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+            for (g, &k) in keys.iter().enumerate() {
+                let accs: Vec<Acc> = sums
+                    .iter()
+                    .map(|per_agg| Acc::Sum(Some(Value::Float(per_agg[g]))))
+                    .collect();
+                map.insert(vec![GroupKey::Int(k)], (vec![Value::Int(k)], accs));
+            }
+            *table = AggTable::Generic(map);
+        }
+    }
+
+    /// Flush the in-memory table into partition spill files as partial rows
+    /// (same format the row aggregate writes, via [`Acc::write_partial`]).
+    fn flush(
+        &mut self,
+        table: &mut AggTable,
+        writers: &mut Option<Vec<SpillWriter>>,
+        depth: u32,
+    ) -> Result<()> {
+        if writers.is_none() {
+            let mut ws = Vec::with_capacity(PARTITIONS);
+            for _ in 0..PARTITIONS {
+                ws.push(SpillWriter::create(&self.ctx.spill)?);
+            }
+            *writers = Some(ws);
+        }
+        let ws = writers.as_mut().expect("just initialized");
+        match table {
+            AggTable::Fast { map, keys, sums } => {
+                for (g, &k) in keys.iter().enumerate() {
+                    let mut row = vec![Value::Int(k)];
+                    for per_agg in sums.iter() {
+                        row.push(Value::Float(per_agg[g]));
+                    }
+                    let part = HashAggregate::partition_of(&[GroupKey::Int(k)], depth);
+                    ws[part].write_row(&row)?;
+                }
+                map.clear();
+                keys.clear();
+                for per_agg in sums.iter_mut() {
+                    per_agg.clear();
+                }
+            }
+            AggTable::Generic(map) => {
+                for (keys, (reps, accs)) in map.drain() {
+                    let mut row = reps;
+                    for a in &accs {
+                        a.write_partial(&mut row)?;
+                    }
+                    ws[HashAggregate::partition_of(&keys, depth)].write_row(&row)?;
+                }
+            }
+        }
+        self.reservation.free();
+        Ok(())
+    }
+
+    /// Phase 1: consume the input stream batch-at-a-time. Budget checks run
+    /// per batch: if the reservation could not cover the batch's new groups,
+    /// the whole table flushes to partitions afterwards.
+    fn consume(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("consume called twice");
+        let mut table = self.new_table();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+        let mut saw_rows = false;
+        let fast_bytes = self.fast_entry_bytes();
+
+        while let Some(batch) = input.next_batch()? {
+            if batch.is_empty() {
+                continue;
+            }
+            saw_rows = true;
+            let key_cols = self
+                .group_by
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_cols: Vec<Option<Column>> = self
+                .aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.eval_batch(&batch)).transpose())
+                .collect::<Result<Vec<_>>>()?;
+
+            // Fast lane: single Int key column, every argument a Float lane.
+            let fast_ok = matches!(&table, AggTable::Fast { .. })
+                && matches!(key_cols[0], Column::Int(_))
+                && arg_cols.iter().all(|c| matches!(c, Some(Column::Float(_))));
+
+            let over_budget = if fast_ok {
+                let AggTable::Fast { map, keys, sums } = &mut table else {
+                    unreachable!("fast_ok checked the variant");
+                };
+                let Column::Int(kv) = &key_cols[0] else { unreachable!() };
+                let argv: Vec<&[f64]> = arg_cols
+                    .iter()
+                    .map(|c| match c {
+                        Some(Column::Float(v)) => v.as_slice(),
+                        _ => unreachable!("fast_ok checked the lanes"),
+                    })
+                    .collect();
+                let mut over = false;
+                for i in 0..kv.len() {
+                    let g = match map.entry(kv[i]) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let g = keys.len() as u32;
+                            e.insert(g);
+                            keys.push(kv[i]);
+                            for per_agg in sums.iter_mut() {
+                                per_agg.push(0.0);
+                            }
+                            over |= !self.reservation.try_grow(fast_bytes);
+                            g
+                        }
+                    };
+                    for (a, vals) in argv.iter().enumerate() {
+                        sums[a][g as usize] += vals[i];
+                    }
+                }
+                over
+            } else {
+                Self::demote(&mut table);
+                self.update_generic(&batch, &key_cols, &arg_cols, &mut table)?
+            };
+
+            if over_budget {
+                // Budget exhausted: spill the whole table (including the
+                // entries just inserted — partials merge in phase 2).
+                self.flush(&mut table, &mut writers, 0)?;
+            }
+        }
+
+        // Global aggregate over empty input produces one all-default row.
+        if !saw_rows && self.group_by.is_empty() {
+            let accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
+            self.state = AggState::Draining {
+                groups: vec![(Vec::new(), accs)],
+                pending: Vec::new(),
+            };
+            return Ok(());
+        }
+
+        let mut pending = Vec::new();
+        if writers.is_some() {
+            // Route the residue through the partitions as well, so the merge
+            // phase sees every group exactly once per partition.
+            self.flush(&mut table, &mut writers, 0)?;
+            for w in writers.expect("writers present") {
+                if w.rows() > 0 {
+                    pending.push((w.into_reader()?, 1));
+                }
+            }
+        }
+        let groups = Self::table_into_groups(table);
+        self.state = AggState::Draining { groups, pending };
+        Ok(())
+    }
+
+    /// Generic per-row update through the shared [`Acc`] machinery. Returns
+    /// `true` when the reservation could not cover every new group.
+    fn update_generic(
+        &mut self,
+        batch: &RowBatch,
+        key_cols: &[Column],
+        arg_cols: &[Option<Column>],
+        table: &mut AggTable,
+    ) -> Result<bool> {
+        let AggTable::Generic(map) = table else {
+            unreachable!("caller demoted the table");
+        };
+        let mut over = false;
+        for i in 0..batch.num_rows() {
+            let keys: Vec<GroupKey> = key_cols.iter().map(|c| c.group_key_at(i)).collect();
+            let args: Vec<Option<Value>> =
+                arg_cols.iter().map(|c| c.as_ref().map(|col| col.value_at(i))).collect();
+            match map.entry(keys) {
+                Entry::Occupied(mut e) => {
+                    let (_, accs) = e.get_mut();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    let reps: Vec<Value> = key_cols.iter().map(|c| c.value_at(i)).collect();
+                    let mut accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                    let bytes = HashAggregate::entry_bytes(&reps, &accs);
+                    e.insert((reps, accs));
+                    over |= !self.reservation.try_grow(bytes);
+                }
+            }
+        }
+        Ok(over)
+    }
+
+    fn table_into_groups(table: AggTable) -> Vec<GroupState> {
+        match table {
+            AggTable::Fast { keys, sums, .. } => keys
+                .iter()
+                .enumerate()
+                .map(|(g, &k)| {
+                    let accs: Vec<Acc> = sums
+                        .iter()
+                        .map(|per_agg| Acc::Sum(Some(Value::Float(per_agg[g]))))
+                        .collect();
+                    (vec![Value::Int(k)], accs)
+                })
+                .collect(),
+            AggTable::Generic(map) => map.into_values().collect(),
+        }
+    }
+
+    /// Merge one spilled partition of partial rows; partitions that still
+    /// exceed the budget re-partition one level deeper (depth-salted hash).
+    fn merge_partition(&mut self, mut reader: SpillReader, depth: u32) -> Result<()> {
+        let arities: Vec<usize> = self.aggs.iter().map(Acc::partial_arity).collect();
+        let k = self.group_by.len();
+        let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+
+        while let Some(row) = reader.next_row()? {
+            let reps: Vec<Value> = row[..k].to_vec();
+            let keys: Vec<GroupKey> = reps.iter().map(Value::group_key).collect();
+            let is_new = !map.contains_key(&keys);
+            let (_, accs) = map
+                .entry(keys)
+                .or_insert_with(|| (reps, self.aggs.iter().map(Acc::new).collect()));
+            let mut pos = k;
+            for (acc, &arity) in accs.iter_mut().zip(&arities) {
+                acc.merge_partial(&row[pos..pos + arity])?;
+                pos += arity;
+            }
+            if is_new {
+                let est = row_bytes(&row) + 64 + 48 * self.aggs.len();
+                if !self.reservation.try_grow(est) {
+                    if depth >= MAX_DEPTH {
+                        // A partition at maximum depth is 16^MAX_DEPTH-fold
+                        // smaller than the input; finish it with a bounded
+                        // uncharged working set rather than fail.
+                        continue;
+                    }
+                    let mut tmp = AggTable::Generic(std::mem::take(&mut map));
+                    self.flush(&mut tmp, &mut writers, depth)?;
+                    let AggTable::Generic(flushed) = tmp else { unreachable!() };
+                    map = flushed;
+                }
+            }
+        }
+
+        let mut extra_pending = Vec::new();
+        if writers.is_some() {
+            let mut tmp = AggTable::Generic(std::mem::take(&mut map));
+            self.flush(&mut tmp, &mut writers, depth)?;
+            let AggTable::Generic(flushed) = tmp else { unreachable!() };
+            map = flushed;
+            for w in writers.expect("writers present") {
+                if w.rows() > 0 {
+                    extra_pending.push((w.into_reader()?, depth + 1));
+                }
+            }
+        }
+        let groups: Vec<GroupState> = map.into_values().collect();
+        let AggState::Draining { groups: current, pending } = &mut self.state else {
+            unreachable!("merge_partition outside draining state");
+        };
+        *current = groups;
+        pending.extend(extra_pending);
+        Ok(())
+    }
+
+    /// Finalize up to [`BATCH_SIZE`] groups into one output batch.
+    fn drain_batch(&mut self) -> Result<Option<RowBatch>> {
+        let take: Vec<GroupState> = {
+            let AggState::Draining { groups, .. } = &mut self.state else {
+                unreachable!("drain outside draining state");
+            };
+            if groups.is_empty() {
+                return Ok(None);
+            }
+            let n = groups.len().min(BATCH_SIZE);
+            groups.drain(..n).collect()
+        };
+        let mut rows: Vec<Row> = Vec::with_capacity(take.len());
+        for (reps, accs) in take {
+            // Release this entry's memory as it leaves the operator, so
+            // downstream operators (e.g. the final sort) can reserve it.
+            self.reservation.shrink(HashAggregate::entry_bytes(&reps, &accs));
+            let mut row = reps;
+            row.reserve(accs.len());
+            for a in accs {
+                row.push(a.finalize()?);
+            }
+            rows.push(row);
+        }
+        Ok(Some(RowBatch::from_owned_rows(rows)))
+    }
+}
+
+impl BatchStream for BatchHashAggregate {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            match &self.state {
+                AggState::Pending => self.consume()?,
+                AggState::Draining { .. } => {
+                    if let Some(batch) = self.drain_batch()? {
+                        return Ok(Some(batch));
+                    }
+                    let next_part = {
+                        let AggState::Draining { pending, .. } = &mut self.state else {
+                            unreachable!();
+                        };
+                        pending.pop()
+                    };
+                    self.reservation.free();
+                    match next_part {
+                        Some((reader, depth)) => self.merge_partition(reader, depth)?,
+                        None => self.state = AggState::Done,
+                    }
+                }
+                AggState::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ctx, ctx_with_budget, int_rows};
+    use super::*;
+    use crate::ast::BinaryOp;
+
+    fn batches_of(rows: Vec<Row>) -> Box<dyn BatchStream> {
+        Box::new(RowToBatch::new(Box::new(super::super::VecStream::new(rows))))
+    }
+
+    fn drain_batches(mut s: Box<dyn BatchStream>) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some(b) = s.next_batch().unwrap() {
+            out.extend(b.into_rows());
+        }
+        out
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(i)
+    }
+
+    fn bin(a: BoundExpr, op: BinaryOp, b: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { left: Box::new(a), op, right: Box::new(b) }
+    }
+
+    #[test]
+    fn filter_selects_and_preserves_order() {
+        let f = BatchFilter {
+            input: batches_of(int_rows(&[1, -2, 3, -4, 5])),
+            predicate: bin(col(0), BinaryOp::Gt, BoundExpr::Literal(Value::Int(0))),
+        };
+        let out = drain_batches(Box::new(f));
+        assert_eq!(out, int_rows(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn limit_spans_batches() {
+        let rows = int_rows(&(0..3000).collect::<Vec<_>>());
+        let l = BatchLimit { input: batches_of(rows), remaining: 1500, to_skip: 1000 };
+        let out = drain_batches(Box::new(l));
+        assert_eq!(out.len(), 1500);
+        assert_eq!(out[0], vec![Value::Int(1000)]);
+        assert_eq!(out[1499], vec![Value::Int(2499)]);
+    }
+
+    #[test]
+    fn hash_join_matches_row_semantics() {
+        let left: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Null, Value::Int(30)],
+        ];
+        let right: Vec<Row> = vec![
+            vec![Value::Int(2), Value::Int(200)],
+            vec![Value::Int(2), Value::Int(201)],
+            vec![Value::Null, Value::Int(202)],
+        ];
+        let j = BatchHashJoin::create(
+            batches_of(left),
+            batches_of(right),
+            vec![col(0)],
+            vec![col(0)],
+            None,
+            &ctx(),
+        )
+        .unwrap();
+        let out = drain_batches(Box::new(j));
+        assert_eq!(out.len(), 2, "NULL keys never match");
+        assert_eq!(out[0][3], Value::Int(200));
+        assert_eq!(out[1][3], Value::Int(201));
+    }
+
+    #[test]
+    fn skewed_join_emits_bounded_batches() {
+        // 2000 probe rows all hitting a 5-row match list fan out into
+        // 10 000 output pairs; each emitted batch must stay near BATCH_SIZE
+        // instead of materializing the whole cross product at once.
+        let probe: Vec<Row> = (0..2000).map(|i| vec![Value::Int(1), Value::Int(i)]).collect();
+        let build: Vec<Row> = (0..5).map(|j| vec![Value::Int(1), Value::Int(j)]).collect();
+        let mut j = BatchHashJoin::create(
+            batches_of(probe),
+            batches_of(build),
+            vec![col(0)],
+            vec![col(0)],
+            None,
+            &ctx(),
+        )
+        .unwrap();
+        let mut total = 0;
+        while let Some(b) = j.next_batch().unwrap() {
+            assert!(b.num_rows() <= BATCH_SIZE + 5, "oversized batch: {}", b.num_rows());
+            total += b.num_rows();
+        }
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn fast_aggregate_sums_per_group() {
+        let rows: Vec<Row> =
+            (0..4000).map(|i| vec![Value::Int(i % 7), Value::Float(0.5)]).collect();
+        let agg = BatchHashAggregate::new(
+            batches_of(rows),
+            vec![col(0)],
+            vec![AggExpr { func: AggFunc::Sum, arg: Some(col(1)), distinct: false }],
+            ctx(),
+        );
+        let mut out = drain_batches(Box::new(agg));
+        out.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        assert_eq!(out.len(), 7);
+        // 4000 rows over 7 groups: groups 0..=3 get 572 rows, 4..=6 get 571.
+        assert_eq!(out[0][1], Value::Float(572.0 * 0.5));
+        assert_eq!(out[6][1], Value::Float(571.0 * 0.5));
+    }
+
+    #[test]
+    fn aggregate_spills_under_budget_and_stays_correct() {
+        let rows: Vec<Row> = (0..40_000)
+            .map(|i| vec![Value::Int(i % 10_000), Value::Float(1.0)])
+            .collect();
+        let tight = ctx_with_budget(200 * 1024);
+        let spill_dir = tight.spill.clone();
+        let agg = BatchHashAggregate::new(
+            batches_of(rows),
+            vec![col(0)],
+            vec![AggExpr { func: AggFunc::Sum, arg: Some(col(1)), distinct: false }],
+            tight,
+        );
+        let mut out = drain_batches(Box::new(agg));
+        assert!(spill_dir.files_created() > 0, "expected spilling to occur");
+        out.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        assert_eq!(out.len(), 10_000);
+        for row in &out {
+            assert_eq!(row[1], Value::Float(4.0));
+        }
+    }
+
+    #[test]
+    fn generic_aggregate_handles_count_min_max() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Float(3.0)],
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Float(-1.0)],
+        ];
+        let aggs = vec![
+            AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+            AggExpr { func: AggFunc::Min, arg: Some(col(1)), distinct: false },
+            AggExpr { func: AggFunc::Max, arg: Some(col(1)), distinct: false },
+        ];
+        let agg = BatchHashAggregate::new(batches_of(rows), vec![col(0)], aggs, ctx());
+        let mut out = drain_batches(Box::new(agg));
+        out.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        assert_eq!(
+            out[0],
+            vec![Value::Int(1), Value::Int(2), Value::Float(3.0), Value::Float(3.0)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Value::Int(2), Value::Int(1), Value::Float(-1.0), Value::Float(-1.0)]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_emits_defaults() {
+        let agg = BatchHashAggregate::new(
+            batches_of(vec![]),
+            vec![],
+            vec![
+                AggExpr { func: AggFunc::Sum, arg: Some(col(0)), distinct: false },
+                AggExpr { func: AggFunc::CountStar, arg: None, distinct: false },
+            ],
+            ctx(),
+        );
+        let out = drain_batches(Box::new(agg));
+        assert_eq!(out, vec![vec![Value::Null, Value::Int(0)]]);
+    }
+
+    #[test]
+    fn adapters_round_trip() {
+        let rows = int_rows(&(0..2500).collect::<Vec<_>>());
+        let b = batches_of(rows.clone());
+        let r = BatchToRow::new(b);
+        let back = RowToBatch::new(Box::new(r));
+        assert_eq!(drain_batches(Box::new(back)), rows);
+    }
+}

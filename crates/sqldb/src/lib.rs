@@ -34,9 +34,10 @@ pub mod schema;
 pub mod storage;
 pub mod table;
 pub mod value;
+pub mod vexpr;
 
 pub use bigbits::BigBits;
-pub use db::{Database, DbStats, ResultSet};
+pub use db::{Database, DbStats, ExecPath, ResultSet};
 pub use error::{Error, Result};
 pub use storage::budget::MemoryBudget;
 pub use storage::spill::Row;

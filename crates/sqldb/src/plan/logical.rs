@@ -107,6 +107,25 @@ impl Plan {
         }
     }
 
+    /// Height of the plan tree. The translator emits one CTE per gate, so
+    /// this is unbounded; the executor uses it to decide whether the pull
+    /// pipeline needs a dedicated large execution stack.
+    pub fn depth(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } | Plan::One => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Alias { input, .. } => input.depth(),
+            Plan::Join { left, right, .. } => left.depth().max(right.depth()),
+            Plan::UnionAll { inputs } => {
+                inputs.iter().map(Plan::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
     /// Render as an indented plan tree (for debugging / EXPLAIN-style output).
     pub fn explain(&self) -> String {
         let mut out = String::new();

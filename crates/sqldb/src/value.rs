@@ -118,7 +118,8 @@ impl Value {
             if b == 0 {
                 Err(Error::Eval("integer division by zero".into()))
             } else {
-                Ok(a / b)
+                // checked_div also rejects i64::MIN / -1 (overflow).
+                a.checked_div(b).ok_or_else(|| Error::Eval("integer overflow in /".into()))
             }
         }, |a, b| a / b)
     }
@@ -128,7 +129,7 @@ impl Value {
             if b == 0 {
                 Err(Error::Eval("integer modulo by zero".into()))
             } else {
-                Ok(a % b)
+                a.checked_rem(b).ok_or_else(|| Error::Eval("integer overflow in %".into()))
             }
         }, |a, b| a % b)
     }
@@ -494,7 +495,7 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_first() {
-        let mut vals = vec![Value::Str("a".into()), Value::Int(2), Value::Null, Value::Float(1.5)];
+        let mut vals = [Value::Str("a".into()), Value::Int(2), Value::Null, Value::Float(1.5)];
         vals.sort_by(|a, b| a.cmp_total(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(1.5));
@@ -504,7 +505,8 @@ mod tests {
     #[test]
     fn display_round_values() {
         assert_eq!(Value::Float(1.0).to_string(), "1.0");
-        assert_eq!(Value::Float(0.7071067811865476).to_string(), "0.7071067811865476");
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert_eq!(Value::Float(h).to_string(), h.to_string());
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Null.to_string(), "NULL");
     }

@@ -7,6 +7,8 @@
 //! [`SqlSimulator`] executes the generated SQL on the embedded engine in
 //! `qymera-sqldb` and implements the common `Simulator` trait.
 
+#![warn(missing_docs)]
+
 pub mod fusion;
 pub mod masks;
 pub mod measure;

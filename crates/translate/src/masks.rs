@@ -53,6 +53,7 @@ pub struct GateMasks {
 }
 
 impl GateMasks {
+    /// Masks for a gate acting on `qubits` of an `num_qubits`-wide register.
     pub fn new(qubits: &[usize], num_qubits: usize) -> Self {
         assert!(!qubits.is_empty());
         assert!(qubits.iter().all(|&q| q < num_qubits));
@@ -63,6 +64,7 @@ impl GateMasks {
         }
     }
 
+    /// The index encoding (native `INTEGER` vs `HUGEINT`) this register needs.
     pub fn encoding(&self) -> StateEncoding {
         self.encoding
     }

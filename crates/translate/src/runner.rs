@@ -34,27 +34,37 @@ pub enum ExecMode {
 /// Configuration of the SQL backend.
 #[derive(Debug, Clone, Default)]
 pub struct SqlSimConfig {
+    /// Single-query CTE chain vs. one materialized table per gate.
     pub mode: ExecMode,
     /// Fuse consecutive gates up to this many qubits (§3.2); `None` = off.
     pub fusion: Option<usize>,
+    /// SQL generation options (e.g. interference pruning via `HAVING`).
     pub sqlgen: SqlGenConfig,
     /// Engine memory budget in bytes (tables + operators); `None` unlimited.
     /// This is what the paper's 2.0 GB experiment constrains.
     pub memory_limit: Option<usize>,
+    /// Run the engine's row-at-a-time reference path instead of the default
+    /// vectorized batch executor. Useful for A/B performance comparisons and
+    /// as a correctness oracle; results are identical on both paths.
+    pub row_engine: bool,
 }
 
 /// One amplitude of the final state as the engine returned it. The basis
 /// index is a [`Value`] because registers beyond 63 qubits use `HUGEINT`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlAmplitude {
+    /// Basis-state index (`INTEGER` or `HUGEINT` past 63 qubits).
     pub s: Value,
+    /// The complex amplitude of that basis state.
     pub amp: Complex64,
 }
 
 /// Result of a SQL-backend run.
 #[derive(Debug, Clone)]
 pub struct SqlRunResult {
+    /// Register width of the simulated circuit.
     pub num_qubits: usize,
+    /// The final state's nonzero amplitudes, in engine order.
     pub amplitudes: Vec<SqlAmplitude>,
     /// Engine statistics (peak memory, spill files/bytes, statement count).
     pub stats: DbStats,
@@ -75,12 +85,30 @@ impl SqlRunResult {
 }
 
 /// The SQL simulation backend.
+///
+/// # Examples
+///
+/// ```
+/// use qymera_translate::SqlSimulator;
+/// use qymera_circuit::library;
+///
+/// // Simulate a 3-qubit GHZ circuit entirely inside the relational engine.
+/// let result = SqlSimulator::paper_default().run(&library::ghz(3)).unwrap();
+/// assert_eq!(result.support(), 2); // |000⟩ and |111⟩
+/// assert!((result.norm_sqr() - 1.0).abs() < 1e-12);
+///
+/// // The generated SQL is the paper's Fig. 2c CTE chain.
+/// let sql = SqlSimulator::paper_default().generated_sql(&library::ghz(3));
+/// assert!(sql.starts_with("WITH T1 AS ("));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SqlSimulator {
+    /// Execution mode, fusion, SQL generation, and memory-limit settings.
     pub config: SqlSimConfig,
 }
 
 impl SqlSimulator {
+    /// Simulator with an explicit configuration.
     pub fn new(config: SqlSimConfig) -> Self {
         SqlSimulator { config }
     }
@@ -91,10 +119,14 @@ impl SqlSimulator {
     }
 
     fn make_db(&self) -> Database {
-        match self.config.memory_limit {
+        let mut db = match self.config.memory_limit {
             Some(limit) => Database::with_memory_limit(limit),
             None => Database::new(),
+        };
+        if self.config.row_engine {
+            db.set_exec_path(qymera_sqldb::ExecPath::Row);
         }
+        db
     }
 
     fn lower(&self, circuit: &QuantumCircuit) -> (GateTableRegistry, Vec<GateOp>) {

@@ -47,17 +47,22 @@ impl GateOp {
     }
 }
 
+/// One materialized gate table: its name and `(in_s, out_s, amplitude)`
+/// entries.
+pub type GateTable = (String, Vec<(u64, u64, Complex64)>);
+
 /// Deduplicating registry of gate tables for one translation.
 #[derive(Debug, Default)]
 pub struct GateTableRegistry {
     /// (kind name, param bit patterns) → table name
     by_shape: HashMap<(String, Vec<u64>), String>,
     /// Tables in creation order: (name, entries).
-    tables: Vec<(String, Vec<(u64, u64, Complex64)>)>,
+    tables: Vec<GateTable>,
     param_counter: usize,
 }
 
 impl GateTableRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }
@@ -107,7 +112,7 @@ impl GateTableRegistry {
     }
 
     /// Distinct gate tables in creation order.
-    pub fn tables(&self) -> &[(String, Vec<(u64, u64, Complex64)>)] {
+    pub fn tables(&self) -> &[GateTable] {
         &self.tables
     }
 

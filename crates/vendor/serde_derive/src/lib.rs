@@ -1,0 +1,482 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote` in the
+//! offline environment). Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with only unit variants (serialized as strings);
+//! * `#[serde(untagged)]` enums with single-field tuple variants and/or
+//!   struct variants;
+//!
+//! and the attributes `rename_all = "lowercase"`, `untagged`, `default`,
+//! `skip`, `skip_serializing_if = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- model -----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Attr {
+    RenameAllLowercase,
+    Untagged,
+    Default,
+    Skip,
+    SkipSerializingIf(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: Vec<Attr>,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    /// Single-field tuple variant; the payload is the type's token text.
+    Tuple(String),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: Vec<Attr>,
+    kind: ItemKind,
+}
+
+impl Item {
+    fn has(&self, a: &Attr) -> bool {
+        self.attrs.contains(a)
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, expected: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == expected {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume leading `#[...]` attributes, returning the serde ones.
+    fn parse_attrs(&mut self) -> Vec<Attr> {
+        let mut out = Vec::new();
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return out;
+            }
+            self.pos += 1; // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde derive: malformed attribute");
+            };
+            let mut inner = Cursor::new(g.stream());
+            if !inner.eat_ident("serde") {
+                continue; // doc comment or foreign attribute
+            }
+            let Some(TokenTree::Group(args)) = inner.next() else {
+                continue;
+            };
+            let mut args = Cursor::new(args.stream());
+            while let Some(TokenTree::Ident(key)) = args.next() {
+                let key = key.to_string();
+                let value = if args.eat_punct('=') {
+                    match args.next() {
+                        Some(TokenTree::Literal(l)) => {
+                            Some(l.to_string().trim_matches('"').to_string())
+                        }
+                        other => panic!("serde derive: expected literal, found {other:?}"),
+                    }
+                } else {
+                    None
+                };
+                match (key.as_str(), value) {
+                    ("rename_all", Some(v)) if v == "lowercase" => {
+                        out.push(Attr::RenameAllLowercase)
+                    }
+                    ("rename_all", Some(v)) => {
+                        panic!("serde derive: unsupported rename_all = {v:?}")
+                    }
+                    ("untagged", None) => out.push(Attr::Untagged),
+                    ("default", None) => out.push(Attr::Default),
+                    ("skip", None) => out.push(Attr::Skip),
+                    ("skip_serializing_if", Some(path)) => {
+                        out.push(Attr::SkipSerializingIf(path))
+                    }
+                    (k, _) => panic!("serde derive: unsupported attribute `{k}`"),
+                }
+                args.eat_punct(',');
+            }
+        }
+    }
+
+    /// Consume `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consume type tokens until a top-level `,` or the end of the stream.
+    fn parse_type_text(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            text.push_str(&t.to_string());
+            text.push(' ');
+            self.pos += 1;
+        }
+        text
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.parse_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        assert!(cur.eat_punct(':'), "serde derive: expected `:` after field `{name}`");
+        cur.parse_type_text();
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let attrs = cur.parse_attrs();
+    cur.skip_visibility();
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde derive: only structs and enums are supported");
+    };
+    let name = cur.expect_ident();
+    let Some(TokenTree::Group(body)) = cur.next() else {
+        panic!("serde derive: generics/tuple structs are not supported");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "serde derive: expected a brace-delimited body"
+    );
+
+    let kind = if is_enum {
+        let mut vcur = Cursor::new(body.stream());
+        let mut variants = Vec::new();
+        while vcur.peek().is_some() {
+            let _vattrs = vcur.parse_attrs();
+            if vcur.peek().is_none() {
+                break;
+            }
+            let vname = vcur.expect_ident();
+            let data = match vcur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let mut tcur = Cursor::new(g.stream());
+                    let ty = tcur.parse_type_text();
+                    assert!(
+                        tcur.peek().is_none(),
+                        "serde derive: only single-field tuple variants are supported"
+                    );
+                    vcur.pos += 1;
+                    VariantData::Tuple(ty)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    vcur.pos += 1;
+                    VariantData::Struct(fields)
+                }
+                _ => VariantData::Unit,
+            };
+            vcur.eat_punct(',');
+            variants.push(Variant { name: vname, data });
+        }
+        ItemKind::Enum(variants)
+    } else {
+        ItemKind::Struct(parse_named_fields(body.stream()))
+    };
+
+    Item { name, attrs, kind }
+}
+
+// ---- codegen helpers -------------------------------------------------------
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    if item.has(&Attr::RenameAllLowercase) {
+        variant.to_lowercase()
+    } else {
+        variant.to_string()
+    }
+}
+
+fn field_skipped(f: &Field) -> bool {
+    f.attrs.contains(&Attr::Skip)
+}
+
+fn field_has_default(f: &Field) -> bool {
+    f.attrs.contains(&Attr::Default) || field_skipped(f)
+}
+
+fn serialize_fields_body(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if field_skipped(f) {
+            continue;
+        }
+        let access = format!("{}{}", access_prefix, f.name);
+        let push = format!(
+            "__fields.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::to_value(&{1})));\n",
+            f.name, access
+        );
+        if let Some(Attr::SkipSerializingIf(path)) =
+            f.attrs.iter().find(|a| matches!(a, Attr::SkipSerializingIf(_)))
+        {
+            out.push_str(&format!("if !{path}(&{access}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+    out.push_str("::serde::Value::Object(__fields)\n");
+    out
+}
+
+fn deserialize_fields_ctor(type_path: &str, fields: &[Field]) -> String {
+    let mut out = format!("::std::result::Result::Ok({type_path} {{\n");
+    for f in fields {
+        if field_skipped(f) {
+            out.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+            continue;
+        }
+        let fallback = if field_has_default(f) {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::std::string::String::from(\
+                 \"missing field `{}`\"))",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{0}: match ::serde::find(__obj, \"{0}\") {{ \
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+             ::std::option::Option::None => {1}, }},\n",
+            f.name, fallback
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+// ---- derives ---------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_fields_body(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.data {
+                    VariantData::Unit => {
+                        let tag = variant_tag(&item, &v.name);
+                        if item.has(&Attr::Untagged) {
+                            arms.push_str(&format!(
+                                "{name}::{0} => ::serde::Value::Null,\n",
+                                v.name
+                            ));
+                        } else {
+                            arms.push_str(&format!(
+                                "{name}::{0} => \
+                                 ::serde::Value::Str(::std::string::String::from(\"{tag}\")),\n",
+                                v.name
+                            ));
+                        }
+                    }
+                    VariantData::Tuple(_) => {
+                        assert!(
+                            item.has(&Attr::Untagged),
+                            "serde derive: tuple variants require #[serde(untagged)]"
+                        );
+                        arms.push_str(&format!(
+                            "{name}::{0}(__x) => ::serde::Serialize::to_value(__x),\n",
+                            v.name
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        assert!(
+                            item.has(&Attr::Untagged),
+                            "serde derive: struct variants require #[serde(untagged)]"
+                        );
+                        let pattern: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let body = serialize_fields_body(fields, "*");
+                        arms.push_str(&format!(
+                            "{name}::{0} {{ {1} }} => {{ {body} }},\n",
+                            v.name,
+                            pattern.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::std::format!(\"expected object for `{name}`\"))?;\n{}",
+            deserialize_fields_ctor(name, fields)
+        ),
+        ItemKind::Enum(variants) if item.has(&Attr::Untagged) => {
+            let mut attempts = String::new();
+            for v in variants {
+                match &v.data {
+                    VariantData::Unit => {
+                        attempts.push_str(&format!(
+                            "if __v.is_null() {{ \
+                             return ::std::result::Result::Ok({name}::{0}); }}\n",
+                            v.name
+                        ));
+                    }
+                    VariantData::Tuple(ty) => {
+                        attempts.push_str(&format!(
+                            "if let ::std::result::Result::Ok(__x) = \
+                             <{ty} as ::serde::Deserialize>::from_value(__v) {{ \
+                             return ::std::result::Result::Ok({name}::{0}(__x)); }}\n",
+                            v.name
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let ctor = deserialize_fields_ctor(&format!("{name}::{}", v.name), fields);
+                        attempts.push_str(&format!(
+                            "if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                             let __try = (|| -> ::std::result::Result<{name}, \
+                             ::std::string::String> {{ {ctor} }})();\n\
+                             if let ::std::result::Result::Ok(__x) = __try {{ \
+                             return ::std::result::Result::Ok(__x); }}\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{attempts}\n::std::result::Result::Err(\
+                 ::std::format!(\"no variant of `{name}` matched\"))"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                assert!(
+                    matches!(v.data, VariantData::Unit),
+                    "serde derive: data-carrying variants require #[serde(untagged)]"
+                );
+                let tag = variant_tag(&item, &v.name);
+                arms.push_str(&format!(
+                    "\"{tag}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                    v.name
+                ));
+            }
+            format!(
+                "let __s = __v.as_str().ok_or_else(|| \
+                 ::std::format!(\"expected string for `{name}`\"))?;\n\
+                 match __s {{\n{arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::std::format!(\"unknown variant `{{__other}}` of `{name}`\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::std::string::String> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,12 @@
+// Parity check of the classical input 1011 (qubits 0,1,3 set) with the
+// ancilla on q[4]: three ones -> the ancilla reads 1.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+x q[0];
+x q[1];
+x q[3];
+cx q[0], q[4];
+cx q[1], q[4];
+cx q[2], q[4];
+cx q[3], q[4];
