@@ -1,4 +1,8 @@
 //! Table catalog: name → [`Table`] with case-insensitive lookup.
+//!
+//! Tables store their rows in chunked columnar form (see [`crate::table`]);
+//! dropping a table releases its budget charge immediately even when
+//! outstanding snapshots keep the chunk data itself alive.
 
 use std::collections::HashMap;
 
@@ -49,10 +53,9 @@ impl Catalog {
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();
         match self.tables.remove(&key) {
-            Some(mut t) => {
-                t.release_budget();
-                Ok(())
-            }
+            // Dropping the table frees its budget charge (RAII reservation)
+            // even while snapshots keep the chunk data alive.
+            Some(_) => Ok(()),
             None if if_exists => Ok(()),
             None => Err(Error::Catalog(format!("no such table `{name}`"))),
         }

@@ -402,26 +402,19 @@ impl Database {
             if buf.is_empty() {
                 break;
             }
-            let coerced: Vec<Row> = {
-                let t = self.catalog.get(name)?;
-                buf.drain(..).map(|r| t.coerce_row(r)).collect::<Result<_>>()?
-            };
-            inserted += coerced.len();
-            self.catalog.get_mut(name)?.insert_rows(coerced)?;
+            // `load_rows` coerces and appends straight into the table's
+            // typed column builders (chunked columnar storage).
+            inserted += self.catalog.get_mut(name)?.load_rows(std::mem::take(&mut buf))?;
         }
         Ok(inserted)
     }
 
     /// Bulk-load pre-built rows (bypasses SQL parsing; used by the Qymera
     /// translator for gate/state tables, mirroring a native loader API).
+    /// Rows stream into the table's typed column builders; a coercion error
+    /// or budget overrun inserts nothing.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        let coerced: Vec<Row> = {
-            let t = self.catalog.get(table)?;
-            rows.into_iter().map(|r| t.coerce_row(r)).collect::<Result<_>>()?
-        };
-        let n = coerced.len();
-        self.catalog.get_mut(table)?.insert_rows(coerced)?;
-        Ok(n)
+        self.catalog.get_mut(table)?.load_rows(rows)
     }
 
     /// Output schema a query would produce, without executing it.
@@ -481,7 +474,7 @@ impl Database {
             }
             None => (0..ncols).collect(),
         };
-        let mut coerced = Vec::with_capacity(rows.len());
+        let mut evaluated = Vec::with_capacity(rows.len());
         for exprs in rows {
             if exprs.len() != mapping.len() {
                 return Err(Error::Plan(format!(
@@ -495,11 +488,9 @@ impl Database {
                 let bexpr = bind(expr, &empty_schema)?;
                 full[target] = bexpr.eval(&vec![])?;
             }
-            coerced.push(self.catalog.get(table)?.coerce_row(full)?);
+            evaluated.push(full);
         }
-        let n = coerced.len();
-        self.catalog.get_mut(table)?.insert_rows(coerced)?;
-        Ok(n)
+        self.catalog.get_mut(table)?.load_rows(evaluated)
     }
 }
 
@@ -626,9 +617,10 @@ mod tests {
 
     #[test]
     fn memory_limited_db_spills_on_aggregate() {
-        // Budget fits the 50k-row base table (~3.5 MB) but not the 20k-group
-        // aggregation state on top of it, forcing the operator to spill.
-        let mut db = Database::with_memory_limit(4 * 1024 * 1024);
+        // Budget fits the 50k-row base table (~1.2 MB in columnar chunks)
+        // but not the 20k-group aggregation state on top of it, forcing the
+        // operator to spill.
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
         db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
         let rows: Vec<Row> = (0..50_000)
             .map(|i| vec![Value::Int(i % 20_000), Value::Float(0.5)])

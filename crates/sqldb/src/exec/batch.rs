@@ -7,13 +7,24 @@
 //! primitive slices; any mixed/null/text/`HUGEINT` column falls back to
 //! [`Column::Generic`].
 //!
-//! Ownership rules: batches are value types. Operators hand batches
-//! downstream by move; gathering (join probe, filter selection) produces
-//! fresh columns. Nothing in a batch aliases operator-internal state, so a
-//! batch can always be buffered, spilled, or reordered freely.
+//! Ownership rules: a batch's columns are immutable, reference-counted
+//! [`ColumnRef`]s. Scans hand out batches whose columns **are** the base
+//! table's chunks (zero-copy; see [`crate::table`]), projections of bare
+//! column references forward the same `Arc`s, and gathering (join probe,
+//! filter selection) produces fresh columns. The rare in-place mutations
+//! ([`RowBatch::truncate`]/[`RowBatch::skip`]) copy-on-write via
+//! [`Arc::make_mut`], so nothing an operator does to a batch can be observed
+//! through another reference — batches can always be buffered, spilled, or
+//! reordered freely.
+
+use std::sync::Arc;
 
 use crate::storage::spill::Row;
 use crate::value::{GroupKey, Value};
+
+/// A shared, immutable reference to a column. Cloning is one atomic
+/// refcount bump; mutation goes through [`Arc::make_mut`] (copy-on-write).
+pub type ColumnRef = Arc<Column>;
 
 /// Target number of rows per batch. Chosen so a three-column state batch
 /// (`s`, `r`, `i`) stays comfortably inside L2 while amortizing per-batch
@@ -134,6 +145,26 @@ impl Column {
         Column::Generic(values)
     }
 
+    /// Approximate in-memory footprint of the column's row data in bytes
+    /// (fast lanes are 8 bytes/row; generic lanes charge per [`Value`]).
+    /// Base-table chunks charge this against the shared memory budget.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => 8 * v.len(),
+            Column::Float(v) => 8 * v.len(),
+            Column::Generic(v) => v.iter().map(Value::heap_bytes).sum(),
+        }
+    }
+
+    /// Copy out a contiguous row range (types preserved).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[range].to_vec()),
+            Column::Float(v) => Column::Float(v[range].to_vec()),
+            Column::Generic(v) => Column::Generic(v[range].to_vec()),
+        }
+    }
+
     /// Copy out the rows at `indices` (types preserved).
     pub fn gather(&self, indices: &[u32]) -> Column {
         match self {
@@ -154,17 +185,26 @@ impl Default for Column {
     }
 }
 
-/// A batch of rows in columnar layout. All columns have equal length.
+/// A batch of rows in columnar layout. All columns have equal length and are
+/// shared [`ColumnRef`]s — cloning a batch never copies row data.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RowBatch {
-    columns: Vec<Column>,
+    columns: Vec<ColumnRef>,
     rows: usize,
 }
 
 impl RowBatch {
-    /// Assemble from pre-built columns (must share a length).
+    /// Assemble from freshly built owned columns (must share a length).
     pub fn from_columns(columns: Vec<Column>) -> RowBatch {
-        let rows = columns.first().map_or(0, Column::len);
+        Self::from_shared(columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Assemble from already-shared columns (must share a length). This is
+    /// the zero-copy path: scans pass base-table chunk columns through
+    /// unchanged, and projections forward the `Arc`s of bare column
+    /// references.
+    pub fn from_shared(columns: Vec<ColumnRef>) -> RowBatch {
+        let rows = columns.first().map_or(0, |c| c.len());
         debug_assert!(columns.iter().all(|c| c.len() == rows), "ragged batch");
         RowBatch { columns, rows }
     }
@@ -172,9 +212,11 @@ impl RowBatch {
     /// Transpose a row slice into a columnar batch.
     pub fn from_rows(rows: &[Row]) -> RowBatch {
         let ncols = rows.first().map_or(0, Row::len);
-        let mut columns: Vec<Column> = Vec::with_capacity(ncols);
+        let mut columns: Vec<ColumnRef> = Vec::with_capacity(ncols);
         for c in 0..ncols {
-            columns.push(Column::from_values(rows.iter().map(|r| r[c].clone()).collect()));
+            columns.push(Arc::new(Column::from_values(
+                rows.iter().map(|r| r[c].clone()).collect(),
+            )));
         }
         RowBatch { columns, rows: rows.len() }
     }
@@ -184,7 +226,7 @@ impl RowBatch {
     pub fn from_owned_rows(rows: Vec<Row>) -> RowBatch {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Row::len);
-        let mut columns: Vec<Column> = Vec::with_capacity(ncols);
+        let mut columns: Vec<ColumnRef> = Vec::with_capacity(ncols);
         let mut rows = rows;
         for c in 0..ncols {
             let mut col = match rows.first() {
@@ -198,7 +240,7 @@ impl RowBatch {
             for r in &mut rows {
                 col.push(std::mem::replace(&mut r[c], Value::Null));
             }
-            columns.push(col);
+            columns.push(Arc::new(col));
         }
         RowBatch { columns, rows: nrows }
     }
@@ -224,13 +266,20 @@ impl RowBatch {
     }
 
     /// All columns, in schema order.
-    pub fn columns(&self) -> &[Column] {
+    pub fn columns(&self) -> &[ColumnRef] {
         &self.columns
     }
 
     /// Column `i` of the batch.
     pub fn column(&self, i: usize) -> &Column {
         &self.columns[i]
+    }
+
+    /// Shared handle to column `i` (refcount bump, no copy). This is how
+    /// [`crate::vexpr`] resolves bare column references without cloning the
+    /// underlying data.
+    pub fn column_shared(&self, i: usize) -> ColumnRef {
+        Arc::clone(&self.columns[i])
     }
 
     /// Materialize row `i` as an owned [`Row`].
@@ -246,43 +295,48 @@ impl RowBatch {
     /// Copy out the rows at `indices` (join/filter selection).
     pub fn gather(&self, indices: &[u32]) -> RowBatch {
         RowBatch {
-            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+            columns: self.columns.iter().map(|c| Arc::new(c.gather(indices))).collect(),
             rows: indices.len(),
         }
     }
 
-    /// Keep the first `n` rows (LIMIT).
+    /// Keep the first `n` rows (LIMIT). Owned columns shorten in place;
+    /// shared columns (e.g. base-table chunks) copy only the `n` survivors
+    /// instead of cloning the whole chunk first.
     pub fn truncate(&mut self, n: usize) {
         if n >= self.rows {
             return;
         }
         for c in &mut self.columns {
-            match c {
-                Column::Int(v) => v.truncate(n),
-                Column::Float(v) => v.truncate(n),
-                Column::Generic(v) => v.truncate(n),
+            match Arc::get_mut(c) {
+                Some(Column::Int(v)) => v.truncate(n),
+                Some(Column::Float(v)) => v.truncate(n),
+                Some(Column::Generic(v)) => v.truncate(n),
+                None => *c = Arc::new(c.slice(0..n)),
             }
         }
         self.rows = n;
     }
 
-    /// Drop the first `n` rows (OFFSET).
+    /// Drop the first `n` rows (OFFSET). Shared columns copy only the
+    /// surviving suffix, like [`truncate`](RowBatch::truncate).
     pub fn skip(&mut self, n: usize) {
         let n = n.min(self.rows);
         if n == 0 {
             return;
         }
         for c in &mut self.columns {
-            match c {
-                Column::Int(v) => {
+            match Arc::get_mut(c) {
+                Some(Column::Int(v)) => {
                     v.drain(..n);
                 }
-                Column::Float(v) => {
+                Some(Column::Float(v)) => {
                     v.drain(..n);
                 }
-                Column::Generic(v) => {
+                Some(Column::Generic(v)) => {
                     v.drain(..n);
                 }
+                None => *c = Arc::new(c.slice(n..c.len())),
             }
         }
         self.rows -= n;

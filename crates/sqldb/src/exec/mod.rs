@@ -27,6 +27,7 @@ use crate::plan::logical::Plan;
 use crate::plan::optimizer;
 use crate::storage::budget::MemoryBudget;
 use crate::storage::spill::{Row, SpillDir};
+use crate::table::TableSnapshot;
 use crate::value::Value;
 
 /// A pull-based row iterator. `next_row` returns `Ok(None)` at end of stream.
@@ -130,7 +131,7 @@ fn build_stream_inner(
     Ok(match plan {
         Plan::Scan { table, .. } => {
             let snapshot = catalog.get(table)?.snapshot();
-            Box::new(ScanStream { rows: snapshot, next: 0 })
+            Box::new(ScanStream { snapshot, chunk: 0, row: 0 })
         }
         Plan::One => Box::new(OneStream { emitted: false }),
         Plan::Filter { input, predicate } => Box::new(FilterStream {
@@ -208,20 +209,29 @@ pub fn execute_plan(plan: Plan, catalog: &Catalog, ctx: &ExecContext) -> Result<
     Ok(rows)
 }
 
+/// Chunk→row adapter over columnar base-table storage: materializes one
+/// [`Row`] per pull from the snapshot's column chunks, so every row-only
+/// operator works against [`crate::table::Table`] unchanged.
 struct ScanStream {
-    rows: Arc<Vec<Row>>,
-    next: usize,
+    snapshot: TableSnapshot,
+    chunk: usize,
+    row: usize,
 }
 
 impl RowStream for ScanStream {
     fn next_row(&mut self) -> Result<Option<Row>> {
-        if self.next < self.rows.len() {
-            let row = self.rows[self.next].clone();
-            self.next += 1;
-            Ok(Some(row))
-        } else {
-            Ok(None)
+        let chunks = self.snapshot.chunks();
+        while self.chunk < chunks.len() {
+            let c = &chunks[self.chunk];
+            if self.row < c.rows() {
+                let row = c.row(self.row);
+                self.row += 1;
+                return Ok(Some(row));
+            }
+            self.chunk += 1;
+            self.row = 0;
         }
+        Ok(None)
     }
 }
 

@@ -39,10 +39,11 @@ use crate::plan::logical::{AggExpr, AggFunc, Plan};
 use crate::plan::optimizer::extract_equi_keys;
 use crate::storage::budget::Reservation;
 use crate::storage::spill::{row_bytes, Row, SpillReader, SpillWriter};
+use crate::table::TableSnapshot;
 use crate::value::{GroupKey, Value};
 
 use super::aggregate::{Acc, GroupState, HashAggregate, MAX_DEPTH, PARTITIONS};
-use super::batch::{Column, RowBatch, BATCH_SIZE};
+use super::batch::{Column, ColumnRef, RowBatch, BATCH_SIZE};
 use super::join::{self, BUILD_OVERDRAFT_ROWS};
 use super::{instrument_slot, sort, ExecContext, NodeStats, RowStream};
 
@@ -91,7 +92,7 @@ fn build_batch_stream_inner(
     Ok(match plan {
         Plan::Scan { table, .. } => {
             let snapshot = catalog.get(table)?.snapshot();
-            Box::new(BatchScan { rows: snapshot, next: 0 })
+            Box::new(BatchScan { snapshot, next_chunk: 0 })
         }
         Plan::One => Box::new(OneBatch { emitted: false }),
         Plan::Filter { input, predicate } => Box::new(BatchFilter {
@@ -280,20 +281,24 @@ impl BatchStream for RowToBatch {
 // Leaf and stateless operators
 // ---------------------------------------------------------------------------
 
+/// Zero-copy base-table scan: each stored chunk becomes one [`RowBatch`]
+/// whose columns **are** the table's chunk columns (`Arc` clones — no
+/// row→column transpose, no per-value copy). The snapshot pins the chunks,
+/// so scans stay consistent under concurrent inserts/deletes.
 struct BatchScan {
-    rows: std::sync::Arc<Vec<Row>>,
-    next: usize,
+    snapshot: TableSnapshot,
+    next_chunk: usize,
 }
 
 impl BatchStream for BatchScan {
     fn next_batch(&mut self) -> Result<Option<RowBatch>> {
-        if self.next >= self.rows.len() {
+        let chunks = self.snapshot.chunks();
+        if self.next_chunk >= chunks.len() {
             return Ok(None);
         }
-        let end = (self.next + BATCH_SIZE).min(self.rows.len());
-        let batch = RowBatch::from_rows(&self.rows[self.next..end]);
-        self.next = end;
-        Ok(Some(batch))
+        let chunk = &chunks[self.next_chunk];
+        self.next_chunk += 1;
+        Ok(Some(RowBatch::from_shared(chunk.columns().to_vec())))
     }
 }
 
@@ -375,7 +380,7 @@ impl BatchStream for BatchProject {
                     .iter()
                     .map(|e| e.eval_batch(&batch))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Some(RowBatch::from_columns(cols)))
+                Ok(Some(RowBatch::from_shared(cols)))
             }
             None => Ok(None),
         }
@@ -452,7 +457,7 @@ struct BatchHashJoin {
     /// A probe batch still being drained (skewed keys can fan one probe
     /// batch out into many output batches): the batch, its evaluated key
     /// columns, and the next probe row to resume from.
-    pending: Option<(RowBatch, Vec<Column>, usize)>,
+    pending: Option<(RowBatch, Vec<ColumnRef>, usize)>,
     _reservation: Reservation,
 }
 
@@ -519,7 +524,7 @@ impl BatchHashJoin {
         })
     }
 
-    fn matches_of(&self, key_cols: &[Column], i: usize) -> Option<&[u32]> {
+    fn matches_of(&self, key_cols: &[ColumnRef], i: usize) -> Option<&[u32]> {
         match &self.table {
             KeyMap::Single(m) => {
                 let k = key_cols[0].group_key_at(i);
@@ -638,7 +643,7 @@ enum AggTable {
 
 /// The vectorized aggregation operator. Same two-phase hybrid hash/grace
 /// scheme as the row [`HashAggregate`] — consume (spilling partial rows into
-/// [`PARTITIONS`] hash partitions under memory pressure), then merge each
+/// `PARTITIONS` hash partitions under memory pressure), then merge each
 /// partition recursively — with batched input and expression evaluation.
 pub struct BatchHashAggregate {
     input: Option<Box<dyn BatchStream>>,
@@ -789,7 +794,7 @@ impl BatchHashAggregate {
                 .iter()
                 .map(|e| e.eval_batch(&batch))
                 .collect::<Result<Vec<_>>>()?;
-            let arg_cols: Vec<Option<Column>> = self
+            let arg_cols: Vec<Option<ColumnRef>> = self
                 .aggs
                 .iter()
                 .map(|a| a.arg.as_ref().map(|e| e.eval_batch(&batch)).transpose())
@@ -797,17 +802,17 @@ impl BatchHashAggregate {
 
             // Fast lane: single Int key column, every argument a Float lane.
             let fast_ok = matches!(&table, AggTable::Fast { .. })
-                && matches!(key_cols[0], Column::Int(_))
-                && arg_cols.iter().all(|c| matches!(c, Some(Column::Float(_))));
+                && matches!(&*key_cols[0], Column::Int(_))
+                && arg_cols.iter().all(|c| matches!(c.as_deref(), Some(Column::Float(_))));
 
             let over_budget = if fast_ok {
                 let AggTable::Fast { map, keys, sums } = &mut table else {
                     unreachable!("fast_ok checked the variant");
                 };
-                let Column::Int(kv) = &key_cols[0] else { unreachable!() };
+                let Column::Int(kv) = &*key_cols[0] else { unreachable!() };
                 let argv: Vec<&[f64]> = arg_cols
                     .iter()
-                    .map(|c| match c {
+                    .map(|c| match c.as_deref() {
                         Some(Column::Float(v)) => v.as_slice(),
                         _ => unreachable!("fast_ok checked the lanes"),
                     })
@@ -875,8 +880,8 @@ impl BatchHashAggregate {
     fn update_generic(
         &mut self,
         batch: &RowBatch,
-        key_cols: &[Column],
-        arg_cols: &[Option<Column>],
+        key_cols: &[ColumnRef],
+        arg_cols: &[Option<ColumnRef>],
         table: &mut AggTable,
     ) -> Result<bool> {
         let AggTable::Generic(map) = table else {

@@ -31,7 +31,9 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod schema;
+#[warn(missing_docs)]
 pub mod storage;
+#[warn(missing_docs)]
 pub mod table;
 pub mod value;
 pub mod vexpr;

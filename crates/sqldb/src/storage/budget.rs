@@ -3,9 +3,11 @@
 //! The paper's headline experiment runs both simulators under a fixed memory
 //! limit (2.0 GB) and measures how many qubits each can reach. To make that
 //! experiment reproducible in software, every operator and base table in this
-//! engine charges its row storage against a shared [`MemoryBudget`]. When a
-//! reservation fails, operators spill to disk (hash aggregation, sorting) or
-//! abort with [`crate::error::Error::OutOfMemory`].
+//! engine charges its storage against a shared [`MemoryBudget`] — operators
+//! per row of transient state, base tables per column chunk (see
+//! [`crate::table`]). When a reservation fails, operators spill to disk
+//! (hash aggregation, sorting) or abort with
+//! [`crate::error::Error::OutOfMemory`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -139,6 +141,13 @@ impl Reservation {
         self.bytes = 0;
     }
 
+    /// The ledger this reservation charges (used by base tables to report
+    /// the limit in out-of-memory errors).
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Bytes currently held by this reservation.
     pub fn bytes(&self) -> usize {
         self.bytes
     }

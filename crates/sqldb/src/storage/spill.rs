@@ -47,6 +47,7 @@ impl SpillDir {
         }))
     }
 
+    /// Filesystem path of the spill directory.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -149,6 +150,7 @@ pub struct SpillWriter {
 }
 
 impl SpillWriter {
+    /// Open a fresh spill file in `dir` for appending rows.
     pub fn create(dir: &Arc<SpillDir>) -> Result<Self> {
         let path = dir.next_file_path();
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
@@ -161,6 +163,7 @@ impl SpillWriter {
         })
     }
 
+    /// Append one row (length-prefixed record) to the spill file.
     pub fn write_row(&mut self, row: &Row) -> Result<()> {
         self.buf.clear();
         encode_row(&mut self.buf, row);
@@ -173,6 +176,7 @@ impl SpillWriter {
         Ok(())
     }
 
+    /// Number of rows written so far.
     pub fn rows(&self) -> u64 {
         self.rows
     }

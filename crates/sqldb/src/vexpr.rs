@@ -17,24 +17,59 @@
 
 use crate::ast::{BinaryOp, DataType, UnaryOp};
 use crate::error::{Error, Result};
-use crate::exec::batch::{Column, RowBatch};
+use crate::exec::batch::{Column, ColumnRef, RowBatch};
 use crate::expr::BoundExpr;
 use crate::value::Value;
 
-/// A binary operand: either a full column or a scalar literal kept unsplatted
-/// so `col ⊕ constant` kernels avoid materializing the constant 1024 times.
+/// A binary operand: either a shared column handle or a scalar literal kept
+/// unsplatted so `col ⊕ constant` kernels avoid materializing the constant
+/// 1024 times. Column operands are `Arc`s — resolving a bare column
+/// reference never copies row data (it may be a base-table chunk).
 enum Operand {
-    Col(Column),
+    Col(ColumnRef),
     Const(Value),
+}
+
+/// A borrowed, kernel-dispatchable view of an [`Operand`].
+enum View<'a> {
+    /// Null-free `INTEGER` column slice.
+    ICol(&'a [i64]),
+    /// Null-free `DOUBLE` column slice.
+    FCol(&'a [f64]),
+    /// `INTEGER` literal.
+    IConst(i64),
+    /// `DOUBLE` literal.
+    FConst(f64),
+    /// Anything the typed kernels don't cover (generic lane, NULL, text…).
+    Other,
+}
+
+impl Operand {
+    fn view(&self) -> View<'_> {
+        match self {
+            Operand::Col(c) => match &**c {
+                Column::Int(v) => View::ICol(v),
+                Column::Float(v) => View::FCol(v),
+                Column::Generic(_) => View::Other,
+            },
+            Operand::Const(Value::Int(i)) => View::IConst(*i),
+            Operand::Const(Value::Float(f)) => View::FConst(*f),
+            Operand::Const(_) => View::Other,
+        }
+    }
 }
 
 impl BoundExpr {
     /// Evaluate against every row of `batch`, producing one output column.
-    pub fn eval_batch(&self, batch: &RowBatch) -> Result<Column> {
+    ///
+    /// Bare column references resolve to a shared handle on the batch's
+    /// column (refcount bump), so expressions like `SELECT s FROM t` forward
+    /// base-table chunks untouched.
+    pub fn eval_batch(&self, batch: &RowBatch) -> Result<ColumnRef> {
         let n = batch.num_rows();
         match self {
-            BoundExpr::Literal(v) => Ok(Column::splat(v, n)),
-            BoundExpr::Column(i) => Ok(batch.column(*i).clone()),
+            BoundExpr::Literal(v) => Ok(ColumnRef::new(Column::splat(v, n))),
+            BoundExpr::Column(i) => Ok(batch.column_shared(*i)),
             BoundExpr::Binary { left, op, right } => match op {
                 // AND/OR short-circuit per row (e.g. `x <> 0 AND 1/x > 2`
                 // must not divide by zero); keep the scalar loop.
@@ -42,12 +77,12 @@ impl BoundExpr {
                 _ => {
                     let l = eval_operand(left, batch)?;
                     let r = eval_operand(right, batch)?;
-                    eval_binary_kernel(l, *op, r, n)
+                    eval_binary_kernel(&l, *op, &r, n).map(ColumnRef::new)
                 }
             },
             BoundExpr::Unary { op, expr } => {
                 let col = expr.eval_batch(batch)?;
-                eval_unary_kernel(*op, col)
+                eval_unary_kernel(*op, &col).map(ColumnRef::new)
             }
             BoundExpr::Cast { expr, ty } => {
                 let col = expr.eval_batch(batch)?;
@@ -55,7 +90,7 @@ impl BoundExpr {
             }
             BoundExpr::IsNull { expr, negated } => {
                 let col = expr.eval_batch(batch)?;
-                Ok(match col {
+                Ok(ColumnRef::new(match &*col {
                     // Fast lanes are null-free by construction.
                     Column::Int(_) | Column::Float(_) => {
                         Column::splat(&Value::Int(*negated as i64), n)
@@ -63,7 +98,7 @@ impl BoundExpr {
                     Column::Generic(vals) => Column::Int(
                         vals.iter().map(|v| (v.is_null() != *negated) as i64).collect(),
                     ),
-                })
+                }))
             }
             // CASE, IN, COALESCE & friends: rare in generated queries; the
             // scalar path is the reference implementation.
@@ -74,12 +109,12 @@ impl BoundExpr {
     }
 
     /// Reference path: run the scalar evaluator once per materialized row.
-    fn eval_fallback(&self, batch: &RowBatch) -> Result<Column> {
+    fn eval_fallback(&self, batch: &RowBatch) -> Result<ColumnRef> {
         let mut out = Column::new();
         for i in 0..batch.num_rows() {
             out.push(self.eval(&batch.row(i))?);
         }
-        Ok(out)
+        Ok(ColumnRef::new(out))
     }
 }
 
@@ -91,52 +126,46 @@ fn eval_operand(expr: &BoundExpr, batch: &RowBatch) -> Result<Operand> {
     }
 }
 
-/// Dispatch a binary operator over typed operand shapes.
-fn eval_binary_kernel(l: Operand, op: BinaryOp, r: Operand, n: usize) -> Result<Column> {
-    use Operand::{Col, Const};
-    match (l, r) {
+/// Dispatch a binary operator over typed operand shapes. Operands are
+/// borrowed: kernels read column slices in place, whether the column is a
+/// freshly computed intermediate or a shared base-table chunk.
+fn eval_binary_kernel(l: &Operand, op: BinaryOp, r: &Operand, n: usize) -> Result<Column> {
+    use View::{FCol, FConst, ICol, IConst};
+    match (l.view(), r.view()) {
         // ---- integer fast lanes ------------------------------------------
-        (Col(Column::Int(a)), Col(Column::Int(b))) => {
-            int_kernel(op, a.len(), |i| (a[i], b[i]))
-        }
-        (Col(Column::Int(a)), Const(Value::Int(b))) => int_kernel(op, a.len(), |i| (a[i], b)),
-        (Const(Value::Int(a)), Col(Column::Int(b))) => int_kernel(op, b.len(), |i| (a, b[i])),
+        (ICol(a), ICol(b)) => int_kernel(op, a.len(), |i| (a[i], b[i])),
+        (ICol(a), IConst(b)) => int_kernel(op, a.len(), |i| (a[i], b)),
+        (IConst(a), ICol(b)) => int_kernel(op, b.len(), |i| (a, b[i])),
 
         // ---- float fast lanes (and int→float promotion) -------------------
-        (Col(Column::Float(a)), Col(Column::Float(b))) => {
-            float_kernel(op, a.len(), |i| (a[i], b[i]))
-        }
-        (Col(Column::Float(a)), Const(Value::Float(b))) => {
-            float_kernel(op, a.len(), |i| (a[i], b))
-        }
-        (Const(Value::Float(a)), Col(Column::Float(b))) => {
-            float_kernel(op, b.len(), |i| (a, b[i]))
-        }
-        (Col(Column::Int(a)), Col(Column::Float(b))) if is_numeric_op(op) => {
+        (FCol(a), FCol(b)) => float_kernel(op, a.len(), |i| (a[i], b[i])),
+        (FCol(a), FConst(b)) => float_kernel(op, a.len(), |i| (a[i], b)),
+        (FConst(a), FCol(b)) => float_kernel(op, b.len(), |i| (a, b[i])),
+        (ICol(a), FCol(b)) if is_numeric_op(op) => {
             float_kernel(op, a.len(), |i| (a[i] as f64, b[i]))
         }
-        (Col(Column::Float(a)), Col(Column::Int(b))) if is_numeric_op(op) => {
+        (FCol(a), ICol(b)) if is_numeric_op(op) => {
             float_kernel(op, a.len(), |i| (a[i], b[i] as f64))
         }
-        (Col(Column::Int(a)), Const(Value::Float(b))) if is_numeric_op(op) => {
+        (ICol(a), FConst(b)) if is_numeric_op(op) => {
             float_kernel(op, a.len(), |i| (a[i] as f64, b))
         }
-        (Const(Value::Float(a)), Col(Column::Int(b))) if is_numeric_op(op) => {
+        (FConst(a), ICol(b)) if is_numeric_op(op) => {
             float_kernel(op, b.len(), |i| (a, b[i] as f64))
         }
-        (Col(Column::Float(a)), Const(Value::Int(b))) if is_numeric_op(op) => {
+        (FCol(a), IConst(b)) if is_numeric_op(op) => {
             float_kernel(op, a.len(), |i| (a[i], b as f64))
         }
-        (Const(Value::Int(a)), Col(Column::Float(b))) if is_numeric_op(op) => {
+        (IConst(a), FCol(b)) if is_numeric_op(op) => {
             float_kernel(op, b.len(), |i| (a as f64, b[i]))
         }
 
         // ---- everything else: per-row Value semantics ---------------------
-        (l, r) => {
+        _ => {
             let mut out = Column::new();
             for i in 0..n {
-                let a = operand_value(&l, i);
-                let b = operand_value(&r, i);
+                let a = operand_value(l, i);
+                let b = operand_value(r, i);
                 out.push(apply_value_op(&a, op, &b)?);
             }
             Ok(out)
@@ -333,11 +362,11 @@ fn apply_value_op(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
     }
 }
 
-fn eval_unary_kernel(op: UnaryOp, col: Column) -> Result<Column> {
+fn eval_unary_kernel(op: UnaryOp, col: &Column) -> Result<Column> {
     match (op, col) {
         (UnaryOp::Neg, Column::Int(v)) => {
             let mut out = Vec::with_capacity(v.len());
-            for i in v {
+            for &i in v {
                 out.push(
                     i.checked_neg()
                         .ok_or_else(|| Error::Eval("integer overflow in unary -".into()))?,
@@ -345,15 +374,13 @@ fn eval_unary_kernel(op: UnaryOp, col: Column) -> Result<Column> {
             }
             Ok(Column::Int(out))
         }
-        (UnaryOp::Neg, Column::Float(v)) => Ok(Column::Float(v.into_iter().map(|f| -f).collect())),
-        (UnaryOp::BitNot, Column::Int(v)) => {
-            Ok(Column::Int(v.into_iter().map(|i| !i).collect()))
-        }
+        (UnaryOp::Neg, Column::Float(v)) => Ok(Column::Float(v.iter().map(|f| -f).collect())),
+        (UnaryOp::BitNot, Column::Int(v)) => Ok(Column::Int(v.iter().map(|i| !i).collect())),
         (UnaryOp::Not, Column::Int(v)) => {
-            Ok(Column::Int(v.into_iter().map(|i| (i == 0) as i64).collect()))
+            Ok(Column::Int(v.iter().map(|&i| (i == 0) as i64).collect()))
         }
         (UnaryOp::Not, Column::Float(v)) => {
-            Ok(Column::Int(v.into_iter().map(|f| (f == 0.0) as i64).collect()))
+            Ok(Column::Int(v.iter().map(|&f| (f == 0.0) as i64).collect()))
         }
         (op, col) => {
             let mut out = Column::new();
@@ -373,20 +400,19 @@ fn eval_unary_kernel(op: UnaryOp, col: Column) -> Result<Column> {
     }
 }
 
-fn eval_cast_kernel(col: Column, ty: DataType) -> Result<Column> {
-    match (ty, col) {
-        (DataType::Integer, c @ Column::Int(_)) | (DataType::Double, c @ Column::Float(_)) => {
-            Ok(c)
-        }
+fn eval_cast_kernel(col: ColumnRef, ty: DataType) -> Result<ColumnRef> {
+    match (ty, &*col) {
+        // Identity casts forward the shared column untouched.
+        (DataType::Integer, Column::Int(_)) | (DataType::Double, Column::Float(_)) => Ok(col),
         (DataType::Double, Column::Int(v)) => {
-            Ok(Column::Float(v.into_iter().map(|i| i as f64).collect()))
+            Ok(ColumnRef::new(Column::Float(v.iter().map(|&i| i as f64).collect())))
         }
-        (ty, col) => {
+        (ty, c) => {
             let mut out = Column::new();
-            for i in 0..col.len() {
-                out.push(crate::expr::cast_value(col.value_at(i), ty)?);
+            for i in 0..c.len() {
+                out.push(crate::expr::cast_value(c.value_at(i), ty)?);
             }
-            Ok(out)
+            Ok(ColumnRef::new(out))
         }
     }
 }
@@ -488,7 +514,7 @@ mod tests {
             Value::Float(0.0),
             Value::Null,
         ]]);
-        assert!(matches!(expr.eval_batch(&batch).unwrap(), Column::Int(_)));
+        assert!(matches!(&*expr.eval_batch(&batch).unwrap(), Column::Int(_)));
         let expr = crate::expr::bind(&parse_expr("s << 63").unwrap(), &schema()).unwrap();
         let col = expr.eval_batch(&batch).unwrap();
         assert!(matches!(col.value_at(0), Value::Big(_)));

@@ -169,7 +169,9 @@ fn spill_path_equivalence_under_tight_budget() {
         })
         .collect();
     let run = |path: ExecPath| {
-        let mut db = Database::with_memory_limit(4 * 1024 * 1024);
+        // Columnar base-table chunks charge ~16 B/row, so the 60k-row table
+        // costs ~1 MB; 2 MB leaves too little headroom for 20k groups.
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
         db.set_exec_path(path);
         db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
         db.insert_rows("big", data.clone()).unwrap();

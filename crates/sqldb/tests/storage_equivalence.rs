@@ -1,0 +1,261 @@
+//! Columnar↔row storage equivalence.
+//!
+//! PR 3 replaced row-major base tables with chunked columnar storage
+//! ([`qymera_sqldb::table`]). Both execution paths now read the same chunks
+//! — the batch path zero-copy, the row path through a chunk→row adapter —
+//! so these tests pin down the contract: identical results on both
+//! [`ExecPath`]s under randomized inserts and deletes, identical coercion
+//! errors, identical budget accounting, intact snapshot isolation while the
+//! table mutates between (and under) scans, and agreement on the spill
+//! paths.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng, StdRng};
+
+use qymera_sqldb::ast::DataType;
+use qymera_sqldb::table::{Table, CHUNK_ROWS};
+use qymera_sqldb::{Database, ExecPath, MemoryBudget, Value};
+
+/// A random row for a `(s INTEGER, r DOUBLE, i DOUBLE)` state table, with
+/// occasional NULLs to force generic-lane chunks.
+fn random_row(rng: &mut StdRng) -> Vec<Value> {
+    let s = if rng.gen_range(0u32..20) == 0 {
+        Value::Null
+    } else {
+        Value::Int(rng.gen_range(0i64..4096))
+    };
+    vec![
+        s,
+        Value::Float(rng.gen_range(-1i64..=1) as f64 / 2.0),
+        Value::Float(rng.gen_range(0i64..8) as f64 / 8.0),
+    ]
+}
+
+fn sorted_rows(rs: &qymera_sqldb::ResultSet) -> Vec<String> {
+    let mut v: Vec<String> = rs.rows().iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+const PROBES: &[&str] = &[
+    "SELECT s, r, i FROM t",
+    "SELECT s & 7 AS g, SUM(r) AS sr, SUM(i) AS si FROM t GROUP BY s & 7",
+    "SELECT COUNT(*) AS n, COUNT(s) AS ns FROM t",
+    "SELECT s FROM t WHERE r > 0.0 AND s IS NOT NULL",
+];
+
+/// Randomized insert/delete interleaving: after every mutation, every probe
+/// query must agree across the two execution paths.
+#[test]
+fn randomized_mutations_equivalent_across_paths() {
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dbs: Vec<Database> = [ExecPath::Batch, ExecPath::Row]
+            .iter()
+            .map(|&p| {
+                let mut db = Database::new();
+                db.set_exec_path(p);
+                db.execute("CREATE TABLE t (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+                db
+            })
+            .collect();
+        for _step in 0..8 {
+            // Random-size insert: crosses chunk boundaries at CHUNK_ROWS.
+            let n = rng.gen_range(1usize..(CHUNK_ROWS + 300));
+            let rows: Vec<Vec<Value>> =
+                (0..n).map(|_| random_row(&mut rng)).collect();
+            for db in dbs.iter_mut() {
+                db.insert_rows("t", rows.clone()).unwrap();
+            }
+            if rng.gen_range(0u32..3) == 0 {
+                let cut = rng.gen_range(0i64..4096);
+                let deleted: Vec<usize> = dbs
+                    .iter_mut()
+                    .map(|db| {
+                        db.execute(&format!("DELETE FROM t WHERE s < {cut}"))
+                            .unwrap()
+                            .affected()
+                    })
+                    .collect();
+                assert_eq!(deleted[0], deleted[1], "seed {seed}: delete count");
+            }
+            for sql in PROBES {
+                let a = dbs[0].execute(sql).unwrap();
+                let b = dbs[1].execute(sql).unwrap();
+                assert_eq!(sorted_rows(&a), sorted_rows(&b), "seed {seed}: {sql}");
+            }
+            assert_eq!(
+                dbs[0].table_row_count("t").unwrap(),
+                dbs[1].table_row_count("t").unwrap()
+            );
+        }
+    }
+}
+
+/// Coercion errors are path-independent (they happen in storage, before any
+/// executor runs) and leave the table and the ledger untouched.
+#[test]
+fn coerce_errors_identical_and_atomic_on_both_paths() {
+    for path in [ExecPath::Batch, ExecPath::Row] {
+        let mut db = Database::with_memory_limit(1 << 20);
+        db.set_exec_path(path);
+        db.execute("CREATE TABLE t (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        db.insert_rows("t", vec![vec![Value::Int(1), Value::Float(0.5), Value::Float(0.0)]])
+            .unwrap();
+        let used = db.budget().used();
+
+        // Wrong type in the middle of a batch: all-or-nothing.
+        let bad = vec![
+            vec![Value::Int(2), Value::Float(1.0), Value::Float(0.0)],
+            vec![Value::Int(3), Value::Str("x".into()), Value::Float(0.0)],
+        ];
+        let err = db.insert_rows("t", bad).unwrap_err().to_string();
+        assert!(err.contains("column `r`"), "{path:?}: {err}");
+        assert_eq!(db.table_row_count("t").unwrap(), 1, "{path:?}");
+        assert_eq!(db.budget().used(), used, "{path:?}: failed insert must not charge");
+
+        // Fractional float into INTEGER.
+        assert!(db
+            .execute("INSERT INTO t VALUES (1.5, 0.0, 0.0)")
+            .unwrap_err()
+            .to_string()
+            .contains("column `s`"));
+        assert_eq!(db.table_row_count("t").unwrap(), 1);
+    }
+}
+
+/// Storage is shared between the paths, so the ledger must read identically
+/// whichever path the database runs — through inserts, deletes, and drops.
+#[test]
+fn budget_accounting_parity_across_paths() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows: Vec<Vec<Value>> = (0..3000).map(|_| random_row(&mut rng)).collect();
+    let usages: Vec<Vec<usize>> = [ExecPath::Batch, ExecPath::Row]
+        .iter()
+        .map(|&p| {
+            let mut db = Database::new();
+            db.set_exec_path(p);
+            let mut trace = Vec::new();
+            db.execute("CREATE TABLE t (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+            db.insert_rows("t", rows.clone()).unwrap();
+            trace.push(db.budget().used());
+            db.execute("DELETE FROM t WHERE s < 1000").unwrap();
+            trace.push(db.budget().used());
+            db.execute("DROP TABLE t").unwrap();
+            trace.push(db.budget().used());
+            trace
+        })
+        .collect();
+    assert_eq!(usages[0], usages[1], "ledger must not depend on the exec path");
+    assert_eq!(*usages[0].last().unwrap(), 0, "drop releases everything");
+    assert!(usages[0][1] < usages[0][0], "delete shrinks the charge");
+}
+
+/// Snapshot isolation at the storage layer: a snapshot taken mid-chunk keeps
+/// its contents while the table grows (copy-on-write tail), shrinks
+/// (delete re-pack), and even after the table is dropped.
+#[test]
+fn snapshot_isolation_under_mutation() {
+    let budget = MemoryBudget::unlimited();
+    let mut t = Table::new(
+        "t",
+        vec![
+            ("s".into(), DataType::Integer),
+            ("r".into(), DataType::Double),
+            ("i".into(), DataType::Double),
+        ],
+        budget,
+    );
+    let row = |s: i64| vec![Value::Int(s), Value::Float(0.5), Value::Float(0.0)];
+    t.insert_rows((0..10).map(row).collect()).unwrap();
+
+    let snap = t.snapshot();
+    // Grow into the same open chunk: the snapshot must not see the append.
+    t.insert_rows((10..2000).map(row).collect()).unwrap();
+    assert_eq!(snap.num_rows(), 10);
+    assert_eq!(snap.to_rows().len(), 10);
+    assert_eq!(t.row_count(), 2000);
+
+    // Sealed chunks are shared, not copied: the first chunk of a fresh
+    // snapshot is the same allocation the table holds (zero-copy scans).
+    let snap2 = t.snapshot();
+    let snap3 = t.snapshot();
+    assert!(Arc::ptr_eq(&snap2.chunks()[0].columns()[0], &snap3.chunks()[0].columns()[0]));
+
+    // Delete re-packs survivors into new chunks; old snapshots unaffected.
+    t.delete_where(|r| Ok(matches!(r[0], Value::Int(v) if v % 2 == 0))).unwrap();
+    assert_eq!(t.row_count(), 1000);
+    assert_eq!(snap2.num_rows(), 2000);
+    assert_eq!(snap2.to_rows()[0][0], Value::Int(0), "deleted row still visible");
+
+    t.release_budget();
+    assert_eq!(snap2.num_rows(), 2000, "snapshot outlives the table's storage");
+}
+
+/// End-to-end snapshot semantics: a table mutated between scans yields the
+/// new state on the next query, on both paths, including after deletes that
+/// re-pack chunks.
+#[test]
+fn table_mutated_between_scans_stays_consistent() {
+    for path in [ExecPath::Batch, ExecPath::Row] {
+        let mut db = Database::new();
+        db.set_exec_path(path);
+        db.execute("CREATE TABLE t (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        let mk = |lo: i64, hi: i64| -> Vec<Vec<Value>> {
+            (lo..hi)
+                .map(|s| vec![Value::Int(s), Value::Float(1.0), Value::Float(0.0)])
+                .collect()
+        };
+        db.insert_rows("t", mk(0, 1500)).unwrap();
+        let n1 = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(n1.scalar(), Some(&Value::Int(1500)), "{path:?}");
+        db.insert_rows("t", mk(1500, 1600)).unwrap();
+        db.execute("DELETE FROM t WHERE s < 100").unwrap();
+        let n2 = db.execute("SELECT COUNT(*), SUM(s) FROM t").unwrap();
+        assert_eq!(n2.rows()[0][0], Value::Int(1500), "{path:?}");
+        // sum(100..1600) = (100 + 1599) * 1500 / 2
+        assert_eq!(n2.rows()[0][1], Value::Int((100 + 1599) * 1500 / 2), "{path:?}");
+    }
+}
+
+/// The gate-shaped join + group-by forced out of core: both paths spill and
+/// agree exactly.
+#[test]
+fn spill_paths_agree_on_gate_query() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let state: Vec<Vec<Value>> = (0..40_000)
+        .map(|s| {
+            vec![
+                Value::Int(s),
+                Value::Float(rng.gen_range(-4i64..4) as f64 / 4.0),
+                Value::Float(0.0),
+            ]
+        })
+        .collect();
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    let run = |path: ExecPath| {
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
+        db.set_exec_path(path);
+        db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        db.insert_rows("T0", state.clone()).unwrap();
+        db.execute("CREATE TABLE H (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE)")
+            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO H VALUES (0,0,{h},0.0),(0,1,{h},0.0),(1,0,{h},0.0),(1,1,{},0.0)",
+            -h
+        ))
+        .unwrap();
+        let rs = db
+            .execute(
+                "SELECT ((T0.s & ~1) | H.out_s) AS s, \
+                 SUM((T0.r * H.r) - (T0.i * H.i)) AS r \
+                 FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
+                 GROUP BY ((T0.s & ~1) | H.out_s) ORDER BY s",
+            )
+            .unwrap();
+        assert!(db.stats().spill_files > 0, "{path:?} expected to spill");
+        rs.into_rows()
+    };
+    assert_eq!(run(ExecPath::Batch), run(ExecPath::Row));
+}

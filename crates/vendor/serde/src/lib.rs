@@ -6,13 +6,68 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+/// A JSON number, preserving integer identity.
+///
+/// Routing every number through `f64` silently corrupts integers with
+/// magnitude ≥ 2⁵³ (e.g. 64-bit basis-state indices in benchmark exports),
+/// so the data model keeps three lanes like real `serde_json`: signed and
+/// unsigned integers round-trip exactly; only genuine floats use `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer (anything that fits `i64`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64` (integers convert, possibly lossily ≥ 2⁵³).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The number as `i64`, if integral and in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            // Exact bounds: ±2⁶³ are representable f64s, and any integral
+            // f64 inside them converts exactly.
+            Number::Float(f)
+                if f.fract() == 0.0 && (-(2f64.powi(63))..2f64.powi(63)).contains(&f) =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `u64`, if integral, non-negative, and in range.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(f) if f.fract() == 0.0 && (0.0..2f64.powi(64)).contains(&f) => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
 /// The in-memory JSON data model all (de)serialization goes through.
 /// Objects preserve insertion order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Null,
     Bool(bool),
-    Num(f64),
+    Num(Number),
     Str(String),
     Array(Vec<Value>),
     Object(Vec<(String, Value)>),
@@ -42,7 +97,23 @@ impl Value {
 
     pub fn as_f64(&self) -> Option<f64> {
         match self {
-            Value::Num(n) => Some(*n),
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `i64`, when it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, when it is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
             _ => None,
         }
     }
@@ -91,18 +162,49 @@ macro_rules! int_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::Num(*self as f64)
+                // Integer-preserving: prefer the exact integer lanes; only
+                // magnitudes beyond u64 (possible for i128/u128) degrade to
+                // the float lane.
+                let v = *self;
+                match i64::try_from(v) {
+                    Ok(i) => Value::Num(Number::Int(i)),
+                    Err(_) => match u64::try_from(v) {
+                        Ok(u) => Value::Num(Number::UInt(u)),
+                        Err(_) => Value::Num(Number::Float(v as f64)),
+                    },
+                }
             }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, String> {
-                let n = v.as_f64().ok_or_else(|| {
-                    format!("expected number, found {}", v.type_name())
-                })?;
-                if n.fract() != 0.0 {
-                    return Err(format!("expected integer, found {n}"));
+                let Value::Num(n) = v else {
+                    return Err(format!("expected number, found {}", v.type_name()));
+                };
+                match *n {
+                    Number::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| format!("integer {i} out of range")),
+                    Number::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| format!("integer {u} out of range")),
+                    Number::Float(f) => {
+                        if f.fract() != 0.0 {
+                            return Err(format!("expected integer, found {f}"));
+                        }
+                        // Range-check through u128/i128 (exact for any
+                        // integral f64 in range) instead of a saturating
+                        // cast, so "3e2" errors for u8 exactly like "300"
+                        // does. Positive values route through u128 to keep
+                        // the top half of u128's range reachable.
+                        if (0.0..2f64.powi(128)).contains(&f) {
+                            <$t>::try_from(f as u128)
+                                .map_err(|_| format!("integer {f} out of range"))
+                        } else if (-(2f64.powi(127))..0.0).contains(&f) {
+                            <$t>::try_from(f as i128)
+                                .map_err(|_| format!("integer {f} out of range"))
+                        } else {
+                            Err(format!("integer {f} out of range"))
+                        }
+                    }
                 }
-                Ok(n as $t)
             }
         }
     )*};
@@ -114,7 +216,7 @@ macro_rules! float_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::Num(*self as f64)
+                Value::Num(Number::Float(*self as f64))
             }
         }
         impl Deserialize for $t {

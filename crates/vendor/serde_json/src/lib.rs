@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Number, Serialize, Value};
 
 /// Encoding/decoding error.
 #[derive(Debug, Clone)]
@@ -95,14 +95,15 @@ fn write_seq(
     out.push(close);
 }
 
-fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        out.push_str("null"); // JSON has no NaN/inf
-    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
-        out.push_str(&format!("{}", n as i64));
-    } else {
-        // `{:?}` is Rust's shortest round-trip float form, valid JSON here.
-        out.push_str(&format!("{n:?}"));
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        // Integer lanes print exactly — all 64 bits survive the round trip.
+        Number::Int(i) => out.push_str(&format!("{i}")),
+        Number::UInt(u) => out.push_str(&format!("{u}")),
+        Number::Float(f) if !f.is_finite() => out.push_str("null"), // JSON has no NaN/inf
+        // `{:?}` is Rust's shortest round-trip float form, valid JSON here;
+        // it always keeps a `.0` or exponent, so floats re-parse as floats.
+        Number::Float(f) => out.push_str(&format!("{f:?}")),
     }
 }
 
@@ -338,8 +339,18 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Integer-looking text (no fraction/exponent) stays on the exact
+        // integer lanes; i64 first, then u64 for values above i64::MAX.
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::UInt(u)));
+            }
+        }
         text.parse::<f64>()
-            .map(Value::Num)
+            .map(|f| Value::Num(Number::Float(f)))
             .map_err(|_| self.err("invalid number"))
     }
 }
@@ -370,9 +381,57 @@ mod tests {
 
     #[test]
     fn floats_round_trip_exactly() {
-        let v = Value::Num(0.123456789012345);
+        let v = Value::Num(Number::Float(0.123456789012345));
         let text = to_string(&v).unwrap();
         assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn large_integers_round_trip_exactly() {
+        // 2⁶² + 1 is not representable in f64; it must survive untouched.
+        let big = (1i64 << 62) + 1;
+        let text = to_string(&big).unwrap();
+        assert_eq!(text, "4611686018427387905");
+        let back: i64 = from_str(&text).unwrap();
+        assert_eq!(back, big);
+        // Negative end of the range and u64 above i64::MAX.
+        let back: i64 = from_str(&to_string(&i64::MIN).unwrap()).unwrap();
+        assert_eq!(back, i64::MIN);
+        let huge = u64::MAX - 1;
+        let back: u64 = from_str(&to_string(&huge).unwrap()).unwrap();
+        assert_eq!(back, huge);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        // A float that happens to be integral must not silently become an
+        // integer on the wire (type fidelity across the round trip).
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(parse_value("2.0").unwrap(), Value::Num(Number::Float(2.0)));
+        assert_eq!(parse_value("2").unwrap(), Value::Num(Number::Int(2)));
+        assert_eq!(parse_value("1e3").unwrap(), Value::Num(Number::Float(1000.0)));
+    }
+
+    #[test]
+    fn out_of_range_deserialization_errors() {
+        let e = from_str::<u8>("300");
+        assert!(e.is_err(), "{e:?}");
+        assert!(from_str::<u64>("-1").is_err());
+        assert!(from_str::<i64>("1.5").is_err());
+        // Float-lane integers get the same range check as the int lanes:
+        // no silent saturation for "3e2" where "300" would error.
+        assert!(from_str::<u8>("3e2").is_err());
+        assert!(from_str::<u64>("-1.0").is_err());
+        assert_eq!(from_str::<u16>("3e2").unwrap(), 300);
+        assert_eq!(from_str::<i64>("1e18").unwrap(), 1_000_000_000_000_000_000);
+        // u128 above u64::MAX travels on the float lane (lossily, as f64)
+        // but must still round-trip to the nearest representable value
+        // rather than erroring.
+        let huge = 1u128 << 127;
+        let back: u128 = from_str(&to_string(&huge).unwrap()).unwrap();
+        assert_eq!(back, huge);
+        assert!(from_str::<u64>(&to_string(&huge).unwrap()).is_err());
     }
 
     #[test]
