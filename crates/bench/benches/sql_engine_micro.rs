@@ -6,7 +6,10 @@
 //! The gate-application query runs on **both** execution paths in the same
 //! process (`gate_join_groupby_16k_rows` = vectorized default,
 //! `gate_join_groupby_16k_rows_rowpath` = row-at-a-time reference), so one
-//! bench run yields the row-vs-batch speedup directly. The `scan_16k_*`
+//! bench run yields the row-vs-batch speedup directly, and the
+//! `gate_join_groupby_16k_rows_par{1,2,4}` group adds the morsel-parallel
+//! scaling curve (meaningful only on multi-core hosts; on a single core the
+//! parallel variants just measure coordination overhead). The `scan_16k_*`
 //! group compares three ways of delivering the same 16k-row state table to
 //! the executor: materializing each row (row path), transposing row storage
 //! into columnar batches per scan (the pre-columnar batch path), and
@@ -31,9 +34,14 @@ SUM((T0.r * H.i) + (T0.i * H.r)) AS i \
 FROM T0 JOIN H ON H.in_s = (T0.s & 1) \
 GROUP BY ((T0.s & ~1) | H.out_s)";
 
-/// A 16k-amplitude uniform state plus a Hadamard gate table.
+/// A 16k-amplitude uniform state plus a Hadamard gate table. Parallelism
+/// is pinned to 1 so every micro below measures exactly one effect —
+/// vectorization vs the row path, storage layout, etc. — independent of
+/// the host's core count and comparable with historical numbers; the
+/// `_par{1,2,4}` group overrides the knob explicitly to measure scaling.
 fn gate_db() -> Database {
     let mut db = Database::new();
+    db.set_parallelism(1);
     db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
     let rows: Vec<Vec<Value>> = (0..16_384)
         .map(|s| vec![Value::Int(s), Value::Float(0.0078125), Value::Float(0.0)])
@@ -77,6 +85,25 @@ fn bench_engine(c: &mut Criterion) {
             std::hint::black_box(rs.rows().len())
         })
     });
+
+    // Morsel-parallel scaling of the same query: the 16-chunk state table
+    // fans out over 1/2/4 workers (per-worker partial aggregates merged at
+    // finalize). `par1` takes exactly the sequential code path and must
+    // match the pinned-sequential bench above within noise.
+    for (name, par) in [
+        ("gate_join_groupby_16k_rows_par1", 1usize),
+        ("gate_join_groupby_16k_rows_par2", 2),
+        ("gate_join_groupby_16k_rows_par4", 4),
+    ] {
+        let mut db = gate_db();
+        db.set_parallelism(par);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let rs = db.execute(GATE_APPLY).unwrap();
+                std::hint::black_box(rs.rows().len())
+            })
+        });
+    }
 
     // The full Fig. 2c shape end to end: CTE, join, grouped aggregation,
     // final ORDER BY.

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use qymera_circuit::{json, library, qasm, QuantumCircuit};
 use qymera_core::{select_method, BackendKind, Engine};
 use qymera_sim::SimOptions;
-use qymera_translate::SqlSimulator;
+use qymera_translate::{SqlSimConfig, SqlSimulator};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +49,8 @@ fn usage() -> &'static str {
        --backend NAME   sql | statevector | sparse | mps | dd (default sql)\n\
        --auto           let the method selector choose the backend\n\
        --memory BYTES   memory budget for the simulation\n\
+       --parallel N     SQL-engine worker threads (default: host cores;\n\
+                        1 = fully sequential execution)\n\
        --shots N        samples for the `sample` command (default 1024)\n\
        --top K          state rows to print (default 16)"
 }
@@ -71,6 +73,12 @@ fn run(args: &[String]) -> Result<(), String> {
         None => SimOptions::default(),
     };
     let top: usize = opt(args, "--top").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let parallel: Option<usize> = match opt(args, "--parallel") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --parallel value `{v}`"))?),
+        None => None,
+    };
+    let sql_config = SqlSimConfig { parallelism: parallel, ..Default::default() };
+    let sql_sim = SqlSimulator::new(sql_config.clone());
 
     match command.as_str() {
         "sql" => {
@@ -87,7 +95,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 let name = opt(args, "--backend").unwrap_or_else(|| "sql".to_string());
                 BackendKind::from_name(&name).ok_or(format!("unknown backend `{name}`"))?
             };
-            let report = engine.run(backend, &circuit);
+            let report = if backend == BackendKind::Sql {
+                engine.run_sql_configured(sql_config.clone(), &circuit)
+            } else {
+                engine.run(backend, &circuit)
+            };
             match report.output {
                 Some(state) => {
                     eprintln!(
@@ -105,15 +117,12 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "profile" => {
-            let text = SqlSimulator::paper_default()
-                .profile(&circuit)
-                .map_err(|e| e.to_string())?;
+            let text = sql_sim.profile(&circuit).map_err(|e| e.to_string())?;
             print!("{text}");
             Ok(())
         }
         "trace" => {
-            let sim = SqlSimulator::paper_default();
-            let states = sim.run_trace(&circuit).map_err(|e| e.to_string())?;
+            let states = sql_sim.run_trace(&circuit).map_err(|e| e.to_string())?;
             for (k, state) in states.iter().enumerate() {
                 println!("state T{k} ({} rows):", state.len());
                 for a in state.iter().take(top) {
@@ -132,7 +141,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "backend", "wall_ms", "memory_B", "support"
             );
             for backend in BackendKind::ALL {
-                let r = engine.run(backend, &circuit);
+                let r = if backend == BackendKind::Sql {
+                    engine.run_sql_configured(sql_config.clone(), &circuit)
+                } else {
+                    engine.run(backend, &circuit)
+                };
                 println!(
                     "{:>12}  {:>10.3}  {:>12}  {:>8}  {}",
                     r.backend,
@@ -148,7 +161,7 @@ fn run(args: &[String]) -> Result<(), String> {
             use rand::SeedableRng;
             let shots: usize = opt(args, "--shots").and_then(|v| v.parse().ok()).unwrap_or(1024);
             let engine = Engine::new(opts);
-            let report = engine.run(BackendKind::Sql, &circuit);
+            let report = engine.run_sql_configured(sql_config.clone(), &circuit);
             let state = report.output.ok_or(report.error.unwrap_or_default())?;
             let mut rng = rand::rngs::StdRng::from_entropy();
             let counts = state.sample_counts(shots, &mut rng);

@@ -153,14 +153,36 @@ pub struct DbStats {
     pub peak_memory_bytes: usize,
 }
 
-/// An embedded single-threaded database instance.
+/// An embedded database instance. Statement execution is driven from the
+/// caller's thread; with [`Database::set_parallelism`] above 1 (the default
+/// follows the host's core count) the batch executor fans eligible pipeline
+/// stages out over a morsel-parallel worker pool.
 pub struct Database {
     catalog: Catalog,
     budget: MemoryBudget,
     spill: Arc<SpillDir>,
     path: ExecPath,
+    parallelism: usize,
     statements: u64,
     rows_returned: u64,
+}
+
+/// Worker threads a fresh [`Database`] allows the batch executor: the
+/// `QYMERA_PARALLELISM` environment variable when set (a positive integer;
+/// `1` forces fully sequential execution), otherwise the host's available
+/// core count. An unparsable value panics rather than silently falling
+/// back to full parallelism — the variable exists precisely so CI can pin
+/// sequential semantics, and ignoring a typo would invert that guarantee.
+fn default_parallelism() -> usize {
+    if let Ok(raw) = std::env::var("QYMERA_PARALLELISM") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => panic!(
+                "QYMERA_PARALLELISM must be a non-negative integer, got `{raw}`"
+            ),
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Database {
@@ -182,6 +204,7 @@ impl Database {
             budget,
             spill: SpillDir::new().expect("cannot create spill directory"),
             path: ExecPath::default(),
+            parallelism: default_parallelism(),
             statements: 0,
             rows_returned: 0,
         }
@@ -196,6 +219,19 @@ impl Database {
     /// The currently selected execution path.
     pub fn exec_path(&self) -> ExecPath {
         self.path
+    }
+
+    /// Cap the batch executor's morsel-parallel worker pool at `n` threads
+    /// (clamped to at least 1). `1` reproduces single-threaded execution
+    /// exactly; the default is the host core count (or `QYMERA_PARALLELISM`
+    /// when that environment variable is set).
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.parallelism = n.max(1);
+    }
+
+    /// The configured worker-pool size for parallel batch execution.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The shared memory ledger charged by tables and operators.
@@ -217,6 +253,7 @@ impl Database {
         ExecContext {
             budget: self.budget.clone(),
             spill: Arc::clone(&self.spill),
+            parallelism: self.parallelism,
             instrument: None,
         }
     }
@@ -263,13 +300,19 @@ impl Database {
             } else {
                 String::new()
             };
+            let parallel = if node.workers > 0 {
+                format!("workers={:<3} morsels={:<6} ", node.workers, node.morsels)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{}{:<28} rows={:<9} {}time={:.3} ms
+                "{}{:<28} rows={:<9} {}{}time={:.3} ms
 ",
                 "  ".repeat(node.depth),
                 node.label,
                 node.rows_out,
                 batches,
+                parallel,
                 node.nanos as f64 / 1e6
             ));
         }

@@ -191,6 +191,62 @@ impl Acc {
         Ok(())
     }
 
+    /// Merge another accumulator of the same shape into this one (used when
+    /// the parallel aggregate combines per-worker tables). Direct
+    /// variant-to-variant merges — no partial-row round trip, which would
+    /// allocate per group per worker. DISTINCT accumulators cannot merge,
+    /// matching their cannot-spill restriction; mismatched shapes cannot
+    /// occur because every table derives its accumulators from the same
+    /// aggregate list.
+    pub(crate) fn merge_from(&mut self, other: &Acc) -> Result<()> {
+        match (&mut *self, other) {
+            (Acc::Sum(state), Acc::Sum(v)) => {
+                if let Some(v) = v {
+                    *state = Some(match state.take() {
+                        Some(cur) => cur.add(v)?,
+                        None => v.clone(),
+                    });
+                }
+            }
+            (Acc::Count(n), Acc::Count(m)) => *n += m,
+            (Acc::Min(state), Acc::Min(v)) => {
+                if let Some(v) = v {
+                    let replace = match state {
+                        Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Less,
+                        None => true,
+                    };
+                    if replace {
+                        *state = Some(v.clone());
+                    }
+                }
+            }
+            (Acc::Max(state), Acc::Max(v)) => {
+                if let Some(v) = v {
+                    let replace = match state {
+                        Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Greater,
+                        None => true,
+                    };
+                    if replace {
+                        *state = Some(v.clone());
+                    }
+                }
+            }
+            (Acc::Avg { sum, count }, Acc::Avg { sum: s, count: c }) => {
+                *sum += s;
+                *count += c;
+            }
+            (Acc::Distinct { .. }, _) | (_, Acc::Distinct { .. }) => {
+                return Err(Error::Unsupported("cannot merge DISTINCT partials".into()))
+            }
+            _ => {
+                return Err(Error::Eval(
+                    "internal: mismatched accumulator shapes in parallel merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     pub(crate) fn finalize(self) -> Result<Value> {
         Ok(match self {
             Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),

@@ -12,6 +12,7 @@
 pub mod aggregate;
 pub mod batch;
 pub mod join;
+pub mod parallel;
 pub mod sort;
 pub mod vector;
 
@@ -49,6 +50,11 @@ pub struct NodeStats {
     /// Inclusive wall time spent inside this operator's `next_row` /
     /// `next_batch` calls (children included, since execution is pull-based).
     pub nanos: u128,
+    /// Worker threads a morsel-parallel operator ran with; 0 when the
+    /// operator executed sequentially.
+    pub workers: u64,
+    /// Morsels (scan-chunk work units) the parallel operator processed.
+    pub morsels: u64,
 }
 
 /// Shared execution environment.
@@ -56,6 +62,9 @@ pub struct NodeStats {
 pub struct ExecContext {
     pub budget: MemoryBudget,
     pub spill: Arc<SpillDir>,
+    /// Worker threads morsel-parallel operators may use. `1` disables
+    /// parallel execution entirely (the sequential operators run unchanged).
+    pub parallelism: usize,
     /// When set, every operator is wrapped with row/time instrumentation.
     pub instrument: Option<Rc<RefCell<Vec<NodeStats>>>>,
 }
@@ -98,6 +107,8 @@ pub(crate) fn instrument_slot(ctx: &ExecContext, plan: &Plan, depth: usize) -> O
             rows_out: 0,
             batches_out: 0,
             nanos: 0,
+            workers: 0,
+            morsels: 0,
         });
         v.len() - 1
     })
@@ -378,6 +389,7 @@ pub(crate) mod test_util {
         ExecContext {
             budget: MemoryBudget::unlimited(),
             spill: SpillDir::new().unwrap(),
+            parallelism: 1,
             instrument: None,
         }
     }
@@ -386,6 +398,7 @@ pub(crate) mod test_util {
         ExecContext {
             budget: MemoryBudget::with_limit(bytes),
             spill: SpillDir::new().unwrap(),
+            parallelism: 1,
             instrument: None,
         }
     }

@@ -25,10 +25,20 @@
 //! checks happen per batch rather than per row, so a table may transiently
 //! overshoot its reservation by at most one batch of new groups before it
 //! flushes.
+//!
+//! When [`ExecContext::parallelism`] is greater than one, eligible pipeline
+//! segments (scan → filter/project/equi-join-probe chains over a base table)
+//! execute morsel-parallel on a worker pool — see [`super::parallel`] — and
+//! both pipeline breakers parallelize their heavy phase: the hash-join build
+//! merges per-morsel key evaluations in morsel order, and the hash aggregate
+//! merges per-worker partial tables (including per-worker spill partitions)
+//! at finalize. `parallelism = 1` takes exactly the sequential code paths
+//! below.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::ast::JoinKind;
@@ -37,14 +47,15 @@ use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
 use crate::plan::logical::{AggExpr, AggFunc, Plan};
 use crate::plan::optimizer::extract_equi_keys;
-use crate::storage::budget::Reservation;
-use crate::storage::spill::{row_bytes, Row, SpillReader, SpillWriter};
+use crate::storage::budget::{MemoryBudget, Reservation};
+use crate::storage::spill::{row_bytes, Row, SpillDir, SpillReader, SpillWriter};
 use crate::table::TableSnapshot;
 use crate::value::{GroupKey, Value};
 
 use super::aggregate::{Acc, GroupState, HashAggregate, MAX_DEPTH, PARTITIONS};
 use super::batch::{Column, ColumnRef, RowBatch, BATCH_SIZE};
 use super::join::{self, BUILD_OVERDRAFT_ROWS};
+use super::parallel::{self, Segment};
 use super::{instrument_slot, sort, ExecContext, NodeStats, RowStream};
 
 /// A pull-based batch iterator. `next_batch` returns `Ok(None)` at end of
@@ -64,7 +75,7 @@ pub fn build_batch_stream(
     build_batch_stream_at(plan, catalog, ctx, 0)
 }
 
-fn build_batch_stream_at(
+pub(crate) fn build_batch_stream_at(
     plan: &Plan,
     catalog: &Catalog,
     ctx: &ExecContext,
@@ -72,7 +83,7 @@ fn build_batch_stream_at(
 ) -> Result<Box<dyn BatchStream>> {
     // Reserve this node's stats slot before recursing (pre-order render).
     let slot = instrument_slot(ctx, plan, depth);
-    let stream = build_batch_stream_inner(plan, catalog, ctx, depth)?;
+    let stream = build_batch_stream_inner(plan, catalog, ctx, depth, slot)?;
     Ok(match (slot, &ctx.instrument) {
         (Some(id), Some(stats)) => Box::new(InstrumentedBatch {
             inner: stream,
@@ -88,7 +99,18 @@ fn build_batch_stream_inner(
     catalog: &Catalog,
     ctx: &ExecContext,
     depth: usize,
+    slot: Option<usize>,
 ) -> Result<Box<dyn BatchStream>> {
+    // Morsel-parallel pipelines: a filter/project/equi-join chain rooted in
+    // a base-table scan runs on a worker pool, with output batches gathered
+    // back in morsel order (so downstream consumers see the sequential
+    // order). Single chunks and `parallelism = 1` use the operators below.
+    if matches!(plan, Plan::Filter { .. } | Plan::Project { .. } | Plan::Join { .. })
+        && parallel::parallel_eligible(plan, catalog, ctx)
+    {
+        let segment = parallel::build_segment(plan, catalog, ctx, depth, slot)?;
+        return parallel::spawn_pipeline(segment, ctx, slot);
+    }
     Ok(match plan {
         Plan::Scan { table, .. } => {
             let snapshot = catalog.get(table)?.snapshot();
@@ -119,29 +141,55 @@ fn build_batch_stream_inner(
                 }
                 _ => None,
             };
-            let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
-            let r = build_batch_stream_at(right, catalog, ctx, depth + 1)?;
             match equi {
                 // Inner equi-joins get the vectorized probe ...
                 Some((lk, rk, residual)) => {
-                    Box::new(BatchHashJoin::create(l, r, lk, rk, residual, ctx)?)
+                    let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
+                    let (table, reservations) = parallel::build_join_table(
+                        right,
+                        catalog,
+                        ctx,
+                        depth + 1,
+                        lk,
+                        rk,
+                        residual,
+                    )?;
+                    Box::new(BatchHashJoin::new(l, table, reservations))
                 }
                 // ... everything else (cross, outer, non-equi) runs the row
                 // join between adapter shims.
-                None => Box::new(RowToBatch::new(join::build_join(
-                    Box::new(BatchToRow::new(l)),
-                    Box::new(BatchToRow::new(r)),
-                    left_cols,
-                    right_cols,
-                    *kind,
-                    on.clone(),
-                    ctx,
-                )?)),
+                None => {
+                    let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
+                    let r = build_batch_stream_at(right, catalog, ctx, depth + 1)?;
+                    Box::new(RowToBatch::new(join::build_join(
+                        Box::new(BatchToRow::new(l)),
+                        Box::new(BatchToRow::new(r)),
+                        left_cols,
+                        right_cols,
+                        *kind,
+                        on.clone(),
+                        ctx,
+                    )?))
+                }
             }
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
+            let distinct = aggs.iter().any(|a| a.distinct);
+            if !distinct && parallel::agg_input_eligible(input, catalog, ctx) {
+                // Morsel-parallel consume: workers run the input segment and
+                // build per-worker partial tables, merged at finalize.
+                let segment = parallel::descend_segment(input, catalog, ctx, depth)?;
+                let workers = ctx.parallelism.min(segment.num_morsels());
+                parallel::note_parallel(ctx, slot, workers, segment.num_morsels());
+                return Ok(Box::new(BatchHashAggregate::new_parallel(
+                    segment,
+                    group_by.clone(),
+                    aggs.clone(),
+                    ctx.clone(),
+                )));
+            }
             let child = build_batch_stream_at(input, catalog, ctx, depth + 1)?;
-            if aggs.iter().any(|a| a.distinct) {
+            if distinct {
                 // DISTINCT accumulators cannot spill; keep the row operator.
                 Box::new(RowToBatch::new(Box::new(HashAggregate::new(
                     Box::new(BatchToRow::new(child)),
@@ -318,7 +366,7 @@ impl BatchStream for OneBatch {
 }
 
 /// Row indices of `col` whose truthiness is exactly `TRUE` (NULL filters out).
-fn truthy_selection(col: &Column) -> Result<Vec<u32>> {
+pub(crate) fn truthy_selection(col: &Column) -> Result<Vec<u32>> {
     Ok(match col {
         Column::Int(v) => v
             .iter()
@@ -446,82 +494,122 @@ enum KeyMap {
     Multi(HashMap<Vec<GroupKey>, Vec<u32>>),
 }
 
-/// Hash join: builds on the right input, probes batch-at-a-time with the
-/// left. Inner equi-joins only; other shapes use the row operator.
-struct BatchHashJoin {
-    probe: Box<dyn BatchStream>,
+/// The immutable result of a hash-join build: the kept build rows plus the
+/// key → row-index table, with the probe-side key expressions and residual
+/// predicate attached. Once built it is read-only, so morsel workers probe
+/// it concurrently through a plain `Arc` (see [`super::parallel`]).
+pub(crate) struct JoinTable {
     build: RowBatch,
     table: KeyMap,
     left_keys: Vec<BoundExpr>,
     residual: Option<BoundExpr>,
-    /// A probe batch still being drained (skewed keys can fan one probe
-    /// batch out into many output batches): the batch, its evaluated key
-    /// columns, and the next probe row to resume from.
-    pending: Option<(RowBatch, Vec<ColumnRef>, usize)>,
-    _reservation: Reservation,
 }
 
-impl BatchHashJoin {
-    fn create(
-        probe: Box<dyn BatchStream>,
+/// Accumulates build rows into a [`JoinTable`]. Insertion order defines the
+/// match order probes observe, so the parallel build feeds per-morsel
+/// results through this in morsel order — reproducing the sequential
+/// structure exactly.
+pub(crate) struct JoinTableBuilder {
+    kept: Vec<Row>,
+    table: KeyMap,
+    overdraft_rows: usize,
+}
+
+impl JoinTableBuilder {
+    /// An empty builder for `num_keys` join keys.
+    pub(crate) fn new(num_keys: usize) -> Self {
+        JoinTableBuilder {
+            kept: Vec::new(),
+            table: if num_keys == 1 {
+                KeyMap::Single(HashMap::new())
+            } else {
+                KeyMap::Multi(HashMap::new())
+            },
+            overdraft_rows: 0,
+        }
+    }
+
+    /// Insert every non-NULL-key row of `batch` (whose join keys are already
+    /// evaluated in `key_cols`), charging `reservation` per kept row. A
+    /// bounded overdraft is tolerated, matching the row join's build phase.
+    pub(crate) fn insert_batch(
+        &mut self,
+        batch: &RowBatch,
+        key_cols: &[ColumnRef],
+        reservation: &mut Reservation,
+        budget: &MemoryBudget,
+    ) -> Result<()> {
+        for i in 0..batch.num_rows() {
+            let keys: Vec<GroupKey> = key_cols.iter().map(|c| c.group_key_at(i)).collect();
+            // SQL semantics: NULL keys never match.
+            if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
+                continue;
+            }
+            let row = batch.row(i);
+            let bytes =
+                row_bytes(&row) + keys.iter().map(GroupKey::heap_bytes).sum::<usize>();
+            if !reservation.try_grow(bytes) {
+                self.overdraft_rows += 1;
+                if self.overdraft_rows > BUILD_OVERDRAFT_ROWS {
+                    return Err(Error::OutOfMemory {
+                        requested: bytes,
+                        budget: budget.limit(),
+                    });
+                }
+            }
+            let idx = self.kept.len() as u32;
+            self.kept.push(row);
+            match &mut self.table {
+                KeyMap::Single(m) => m
+                    .entry(keys.into_iter().next().expect("single key"))
+                    .or_default()
+                    .push(idx),
+                KeyMap::Multi(m) => m.entry(keys).or_default().push(idx),
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the builder into an immutable, probe-ready [`JoinTable`].
+    pub(crate) fn finish(
+        self,
+        left_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+    ) -> JoinTable {
+        JoinTable {
+            build: RowBatch::from_owned_rows(self.kept),
+            table: self.table,
+            left_keys,
+            residual,
+        }
+    }
+}
+
+impl JoinTable {
+    /// Sequential build: drain `build_input` into the table. Returns the
+    /// table plus the reservation holding its memory charge.
+    pub(crate) fn build_from_stream(
         mut build_input: Box<dyn BatchStream>,
         left_keys: Vec<BoundExpr>,
         right_keys: Vec<BoundExpr>,
         residual: Option<BoundExpr>,
         ctx: &ExecContext,
-    ) -> Result<Self> {
-        let mut table = if left_keys.len() == 1 {
-            KeyMap::Single(HashMap::new())
-        } else {
-            KeyMap::Multi(HashMap::new())
-        };
-        let mut kept: Vec<Row> = Vec::new();
+    ) -> Result<(JoinTable, Reservation)> {
+        let mut builder = JoinTableBuilder::new(right_keys.len());
         let mut reservation = Reservation::empty(&ctx.budget);
-        let mut overdraft_rows = 0usize;
         while let Some(batch) = build_input.next_batch()? {
             let key_cols = right_keys
                 .iter()
                 .map(|e| e.eval_batch(&batch))
                 .collect::<Result<Vec<_>>>()?;
-            for i in 0..batch.num_rows() {
-                let keys: Vec<GroupKey> =
-                    key_cols.iter().map(|c| c.group_key_at(i)).collect();
-                // SQL semantics: NULL keys never match.
-                if keys.iter().any(|k| matches!(k, GroupKey::Null)) {
-                    continue;
-                }
-                let row = batch.row(i);
-                let bytes =
-                    row_bytes(&row) + keys.iter().map(GroupKey::heap_bytes).sum::<usize>();
-                if !reservation.try_grow(bytes) {
-                    overdraft_rows += 1;
-                    if overdraft_rows > BUILD_OVERDRAFT_ROWS {
-                        return Err(Error::OutOfMemory {
-                            requested: bytes,
-                            budget: ctx.budget.limit(),
-                        });
-                    }
-                }
-                let idx = kept.len() as u32;
-                kept.push(row);
-                match &mut table {
-                    KeyMap::Single(m) => m
-                        .entry(keys.into_iter().next().expect("single key"))
-                        .or_default()
-                        .push(idx),
-                    KeyMap::Multi(m) => m.entry(keys).or_default().push(idx),
-                }
-            }
+            builder.insert_batch(&batch, &key_cols, &mut reservation, &ctx.budget)?;
         }
-        Ok(BatchHashJoin {
-            probe,
-            build: RowBatch::from_owned_rows(kept),
-            table,
-            left_keys,
-            residual,
-            pending: None,
-            _reservation: reservation,
-        })
+        Ok((builder.finish(left_keys, residual), reservation))
+    }
+
+    /// Evaluate the probe-side key expressions over a probe batch.
+    pub(crate) fn eval_probe_keys(&self, batch: &RowBatch) -> Result<Vec<ColumnRef>> {
+        self.left_keys.iter().map(|e| e.eval_batch(batch)).collect()
     }
 
     fn matches_of(&self, key_cols: &[ColumnRef], i: usize) -> Option<&[u32]> {
@@ -543,33 +631,17 @@ impl BatchHashJoin {
             }
         }
     }
-}
 
-impl BatchStream for BatchHashJoin {
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
-        loop {
-            // Get a probe batch: resume a partially drained one, else pull.
-            let (batch, key_cols, start) = match self.pending.take() {
-                Some(p) => p,
-                None => match self.probe.next_batch()? {
-                    Some(batch) => {
-                        let key_cols = self
-                            .left_keys
-                            .iter()
-                            .map(|e| e.eval_batch(&batch))
-                            .collect::<Result<Vec<_>>>()?;
-                        (batch, key_cols, 0)
-                    }
-                    None => return Ok(None),
-                },
-            };
-            // Selection vectors pairing probe rows with matching build rows.
-            // Stop at ~BATCH_SIZE output pairs so a skewed many-to-many key
-            // cannot make one output batch arbitrarily large; the probe
-            // position is saved and resumed on the next call.
+    /// Probe one whole batch, emitting joined batches bounded near
+    /// [`BATCH_SIZE`] pairs each (the morsel workers' probe entry point —
+    /// same pair order and batch boundaries as the streaming operator).
+    pub(crate) fn probe_batch(&self, batch: &RowBatch) -> Result<Vec<RowBatch>> {
+        let key_cols = self.eval_probe_keys(batch)?;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < batch.num_rows() {
             let mut probe_sel: Vec<u32> = Vec::new();
             let mut build_sel: Vec<u32> = Vec::new();
-            let mut i = start;
             while i < batch.num_rows() && probe_sel.len() < BATCH_SIZE {
                 if let Some(matches) = self.matches_of(&key_cols, i) {
                     for &b in matches {
@@ -579,32 +651,20 @@ impl BatchStream for BatchHashJoin {
                 }
                 i += 1;
             }
-            if i < batch.num_rows() {
-                let joined = RowBatch::hstack(
-                    batch.gather(&probe_sel),
-                    self.build.gather(&build_sel),
-                );
-                self.pending = Some((batch, key_cols, i));
-                if let Some(out) = self.apply_residual(joined)? {
-                    return Ok(Some(out));
-                }
-                continue;
-            }
             if probe_sel.is_empty() {
                 continue;
             }
             let joined =
                 RowBatch::hstack(batch.gather(&probe_sel), self.build.gather(&build_sel));
-            if let Some(out) = self.apply_residual(joined)? {
-                return Ok(Some(out));
+            if let Some(b) = self.apply_residual(joined)? {
+                out.push(b);
             }
         }
+        Ok(out)
     }
-}
 
-impl BatchHashJoin {
     /// Filter a joined batch through the residual predicate, if any; `None`
-    /// when every row was rejected (caller continues the probe loop).
+    /// when every row was rejected.
     fn apply_residual(&self, joined: RowBatch) -> Result<Option<RowBatch>> {
         match &self.residual {
             Some(pred) => {
@@ -623,6 +683,84 @@ impl BatchHashJoin {
     }
 }
 
+/// Hash join: builds on the right input, probes batch-at-a-time with the
+/// left. Inner equi-joins only; other shapes use the row operator.
+struct BatchHashJoin {
+    probe: Box<dyn BatchStream>,
+    table: Arc<JoinTable>,
+    /// A probe batch still being drained (skewed keys can fan one probe
+    /// batch out into many output batches): the batch, its evaluated key
+    /// columns, and the next probe row to resume from.
+    pending: Option<(RowBatch, Vec<ColumnRef>, usize)>,
+    /// Memory charges for the build table (freed when the join drops).
+    _reservations: Vec<Reservation>,
+}
+
+impl BatchHashJoin {
+    fn new(
+        probe: Box<dyn BatchStream>,
+        table: Arc<JoinTable>,
+        reservations: Vec<Reservation>,
+    ) -> Self {
+        BatchHashJoin { probe, table, pending: None, _reservations: reservations }
+    }
+}
+
+impl BatchStream for BatchHashJoin {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            // Get a probe batch: resume a partially drained one, else pull.
+            let (batch, key_cols, start) = match self.pending.take() {
+                Some(p) => p,
+                None => match self.probe.next_batch()? {
+                    Some(batch) => {
+                        let key_cols = self.table.eval_probe_keys(&batch)?;
+                        (batch, key_cols, 0)
+                    }
+                    None => return Ok(None),
+                },
+            };
+            // Selection vectors pairing probe rows with matching build rows.
+            // Stop at ~BATCH_SIZE output pairs so a skewed many-to-many key
+            // cannot make one output batch arbitrarily large; the probe
+            // position is saved and resumed on the next call.
+            let mut probe_sel: Vec<u32> = Vec::new();
+            let mut build_sel: Vec<u32> = Vec::new();
+            let mut i = start;
+            while i < batch.num_rows() && probe_sel.len() < BATCH_SIZE {
+                if let Some(matches) = self.table.matches_of(&key_cols, i) {
+                    for &b in matches {
+                        probe_sel.push(i as u32);
+                        build_sel.push(b);
+                    }
+                }
+                i += 1;
+            }
+            if i < batch.num_rows() {
+                let joined = RowBatch::hstack(
+                    batch.gather(&probe_sel),
+                    self.table.build.gather(&build_sel),
+                );
+                self.pending = Some((batch, key_cols, i));
+                if let Some(out) = self.table.apply_residual(joined)? {
+                    return Ok(Some(out));
+                }
+                continue;
+            }
+            if probe_sel.is_empty() {
+                continue;
+            }
+            let joined = RowBatch::hstack(
+                batch.gather(&probe_sel),
+                self.table.build.gather(&build_sel),
+            );
+            if let Some(out) = self.table.apply_residual(joined)? {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Vectorized hash aggregate
 // ---------------------------------------------------------------------------
@@ -631,7 +769,7 @@ impl BatchHashJoin {
 /// — single `INTEGER` group key, all aggregates `SUM` over `DOUBLE` lanes —
 /// which keeps accumulators in flat `f64` arrays; anything else (or any batch
 /// whose lanes don't qualify) lives in the generic [`Acc`] table.
-enum AggTable {
+pub(crate) enum AggTable {
     Fast {
         map: HashMap<i64, u32>,
         keys: Vec<i64>,
@@ -641,57 +779,45 @@ enum AggTable {
     Generic(HashMap<Vec<GroupKey>, GroupState>),
 }
 
-/// The vectorized aggregation operator. Same two-phase hybrid hash/grace
-/// scheme as the row [`HashAggregate`] — consume (spilling partial rows into
-/// `PARTITIONS` hash partitions under memory pressure), then merge each
-/// partition recursively — with batched input and expression evaluation.
-pub struct BatchHashAggregate {
-    input: Option<Box<dyn BatchStream>>,
+/// The shareable (`Send + Sync`) description of one aggregation: group-by
+/// keys, aggregate expressions, and the consume-phase update/flush machinery.
+/// The sequential operator uses it directly; morsel workers run the same
+/// methods against per-worker tables, writers, and reservations.
+pub(crate) struct AggCore {
     group_by: Vec<BoundExpr>,
     aggs: Vec<AggExpr>,
-    ctx: ExecContext,
-    reservation: Reservation,
     /// Static eligibility for the fast table (per-batch lanes still checked).
     fast_eligible: bool,
-    state: AggState,
+    /// Bytes one fast-table group charges (mirrors `entry_bytes` for a
+    /// one-`INTEGER`-key entry with plain accumulators).
+    fast_bytes: usize,
 }
 
-enum AggState {
-    Pending,
-    Draining {
-        groups: Vec<GroupState>,
-        /// Spilled partitions still to merge (reader, depth).
-        pending: Vec<(SpillReader, u32)>,
-    },
-    Done,
+/// One worker's partial aggregation result: its in-memory table, any spill
+/// partitions it wrote, the reservation charging its memory, and how many
+/// input rows it saw (for the empty-input global-aggregate rule).
+pub(crate) struct WorkerAgg {
+    pub(crate) table: AggTable,
+    pub(crate) writers: Option<Vec<SpillWriter>>,
+    pub(crate) reservation: Reservation,
+    pub(crate) rows_seen: u64,
 }
 
-impl BatchHashAggregate {
-    /// Create the operator over `input`.
-    pub fn new(
-        input: Box<dyn BatchStream>,
-        group_by: Vec<BoundExpr>,
-        aggs: Vec<AggExpr>,
-        ctx: ExecContext,
-    ) -> Self {
+impl AggCore {
+    pub(crate) fn new(group_by: Vec<BoundExpr>, aggs: Vec<AggExpr>) -> Self {
         let fast_eligible = group_by.len() == 1
             && !aggs.is_empty()
             && aggs
                 .iter()
                 .all(|a| a.func == AggFunc::Sum && !a.distinct && a.arg.is_some());
-        let reservation = Reservation::empty(&ctx.budget);
-        BatchHashAggregate {
-            input: Some(input),
-            group_by,
-            aggs,
-            ctx,
-            reservation,
-            fast_eligible,
-            state: AggState::Pending,
-        }
+        let fast_bytes = HashAggregate::entry_bytes(
+            &[Value::Int(0)],
+            &aggs.iter().map(Acc::new).collect::<Vec<_>>(),
+        );
+        AggCore { group_by, aggs, fast_eligible, fast_bytes }
     }
 
-    fn new_table(&self) -> AggTable {
+    pub(crate) fn new_table(&self) -> AggTable {
         if self.fast_eligible {
             AggTable::Fast {
                 map: HashMap::new(),
@@ -701,15 +827,6 @@ impl BatchHashAggregate {
         } else {
             AggTable::Generic(HashMap::new())
         }
-    }
-
-    /// Bytes one fast-table group charges (mirrors `entry_bytes` for a
-    /// one-`INTEGER`-key entry with plain accumulators).
-    fn fast_entry_bytes(&self) -> usize {
-        HashAggregate::entry_bytes(
-            &[Value::Int(0)],
-            &self.aggs.iter().map(Acc::new).collect::<Vec<_>>(),
-        )
     }
 
     /// Demote the fast table into generic [`Acc`] form (a batch arrived whose
@@ -728,18 +845,124 @@ impl BatchHashAggregate {
         }
     }
 
+    /// Aggregate one input batch into `table`, charging `reservation` per new
+    /// group. Returns `true` when the reservation could not cover every new
+    /// group (the caller should flush).
+    pub(crate) fn update_batch(
+        &self,
+        batch: &RowBatch,
+        table: &mut AggTable,
+        reservation: &mut Reservation,
+    ) -> Result<bool> {
+        let key_cols = self
+            .group_by
+            .iter()
+            .map(|e| e.eval_batch(batch))
+            .collect::<Result<Vec<_>>>()?;
+        let arg_cols: Vec<Option<ColumnRef>> = self
+            .aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.eval_batch(batch)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+
+        // Fast lane: single Int key column, every argument a Float lane.
+        let fast_ok = matches!(&table, AggTable::Fast { .. })
+            && matches!(&*key_cols[0], Column::Int(_))
+            && arg_cols.iter().all(|c| matches!(c.as_deref(), Some(Column::Float(_))));
+
+        if fast_ok {
+            let AggTable::Fast { map, keys, sums } = table else {
+                unreachable!("fast_ok checked the variant");
+            };
+            let Column::Int(kv) = &*key_cols[0] else { unreachable!() };
+            let argv: Vec<&[f64]> = arg_cols
+                .iter()
+                .map(|c| match c.as_deref() {
+                    Some(Column::Float(v)) => v.as_slice(),
+                    _ => unreachable!("fast_ok checked the lanes"),
+                })
+                .collect();
+            let mut over = false;
+            for i in 0..kv.len() {
+                let g = match map.entry(kv[i]) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let g = keys.len() as u32;
+                        e.insert(g);
+                        keys.push(kv[i]);
+                        for per_agg in sums.iter_mut() {
+                            per_agg.push(0.0);
+                        }
+                        over |= !reservation.try_grow(self.fast_bytes);
+                        g
+                    }
+                };
+                for (a, vals) in argv.iter().enumerate() {
+                    sums[a][g as usize] += vals[i];
+                }
+            }
+            Ok(over)
+        } else {
+            Self::demote(table);
+            self.update_generic(batch, &key_cols, &arg_cols, table, reservation)
+        }
+    }
+
+    /// Generic per-row update through the shared [`Acc`] machinery. Returns
+    /// `true` when the reservation could not cover every new group.
+    fn update_generic(
+        &self,
+        batch: &RowBatch,
+        key_cols: &[ColumnRef],
+        arg_cols: &[Option<ColumnRef>],
+        table: &mut AggTable,
+        reservation: &mut Reservation,
+    ) -> Result<bool> {
+        let AggTable::Generic(map) = table else {
+            unreachable!("caller demoted the table");
+        };
+        let mut over = false;
+        for i in 0..batch.num_rows() {
+            let keys: Vec<GroupKey> = key_cols.iter().map(|c| c.group_key_at(i)).collect();
+            let args: Vec<Option<Value>> =
+                arg_cols.iter().map(|c| c.as_ref().map(|col| col.value_at(i))).collect();
+            match map.entry(keys) {
+                Entry::Occupied(mut e) => {
+                    let (_, accs) = e.get_mut();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    let reps: Vec<Value> = key_cols.iter().map(|c| c.value_at(i)).collect();
+                    let mut accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
+                    for (acc, arg) in accs.iter_mut().zip(args) {
+                        acc.update(arg)?;
+                    }
+                    let bytes = HashAggregate::entry_bytes(&reps, &accs);
+                    e.insert((reps, accs));
+                    over |= !reservation.try_grow(bytes);
+                }
+            }
+        }
+        Ok(over)
+    }
+
     /// Flush the in-memory table into partition spill files as partial rows
-    /// (same format the row aggregate writes, via [`Acc::write_partial`]).
-    fn flush(
-        &mut self,
+    /// (same format the row aggregate writes, via [`Acc::write_partial`]),
+    /// releasing `reservation`.
+    pub(crate) fn flush(
+        &self,
         table: &mut AggTable,
         writers: &mut Option<Vec<SpillWriter>>,
         depth: u32,
+        spill: &Arc<SpillDir>,
+        reservation: &mut Reservation,
     ) -> Result<()> {
         if writers.is_none() {
             let mut ws = Vec::with_capacity(PARTITIONS);
             for _ in 0..PARTITIONS {
-                ws.push(SpillWriter::create(&self.ctx.spill)?);
+                ws.push(SpillWriter::create(spill)?);
             }
             *writers = Some(ws);
         }
@@ -770,148 +993,8 @@ impl BatchHashAggregate {
                 }
             }
         }
-        self.reservation.free();
+        reservation.free();
         Ok(())
-    }
-
-    /// Phase 1: consume the input stream batch-at-a-time. Budget checks run
-    /// per batch: if the reservation could not cover the batch's new groups,
-    /// the whole table flushes to partitions afterwards.
-    fn consume(&mut self) -> Result<()> {
-        let mut input = self.input.take().expect("consume called twice");
-        let mut table = self.new_table();
-        let mut writers: Option<Vec<SpillWriter>> = None;
-        let mut saw_rows = false;
-        let fast_bytes = self.fast_entry_bytes();
-
-        while let Some(batch) = input.next_batch()? {
-            if batch.is_empty() {
-                continue;
-            }
-            saw_rows = true;
-            let key_cols = self
-                .group_by
-                .iter()
-                .map(|e| e.eval_batch(&batch))
-                .collect::<Result<Vec<_>>>()?;
-            let arg_cols: Vec<Option<ColumnRef>> = self
-                .aggs
-                .iter()
-                .map(|a| a.arg.as_ref().map(|e| e.eval_batch(&batch)).transpose())
-                .collect::<Result<Vec<_>>>()?;
-
-            // Fast lane: single Int key column, every argument a Float lane.
-            let fast_ok = matches!(&table, AggTable::Fast { .. })
-                && matches!(&*key_cols[0], Column::Int(_))
-                && arg_cols.iter().all(|c| matches!(c.as_deref(), Some(Column::Float(_))));
-
-            let over_budget = if fast_ok {
-                let AggTable::Fast { map, keys, sums } = &mut table else {
-                    unreachable!("fast_ok checked the variant");
-                };
-                let Column::Int(kv) = &*key_cols[0] else { unreachable!() };
-                let argv: Vec<&[f64]> = arg_cols
-                    .iter()
-                    .map(|c| match c.as_deref() {
-                        Some(Column::Float(v)) => v.as_slice(),
-                        _ => unreachable!("fast_ok checked the lanes"),
-                    })
-                    .collect();
-                let mut over = false;
-                for i in 0..kv.len() {
-                    let g = match map.entry(kv[i]) {
-                        Entry::Occupied(e) => *e.get(),
-                        Entry::Vacant(e) => {
-                            let g = keys.len() as u32;
-                            e.insert(g);
-                            keys.push(kv[i]);
-                            for per_agg in sums.iter_mut() {
-                                per_agg.push(0.0);
-                            }
-                            over |= !self.reservation.try_grow(fast_bytes);
-                            g
-                        }
-                    };
-                    for (a, vals) in argv.iter().enumerate() {
-                        sums[a][g as usize] += vals[i];
-                    }
-                }
-                over
-            } else {
-                Self::demote(&mut table);
-                self.update_generic(&batch, &key_cols, &arg_cols, &mut table)?
-            };
-
-            if over_budget {
-                // Budget exhausted: spill the whole table (including the
-                // entries just inserted — partials merge in phase 2).
-                self.flush(&mut table, &mut writers, 0)?;
-            }
-        }
-
-        // Global aggregate over empty input produces one all-default row.
-        if !saw_rows && self.group_by.is_empty() {
-            let accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
-            self.state = AggState::Draining {
-                groups: vec![(Vec::new(), accs)],
-                pending: Vec::new(),
-            };
-            return Ok(());
-        }
-
-        let mut pending = Vec::new();
-        if writers.is_some() {
-            // Route the residue through the partitions as well, so the merge
-            // phase sees every group exactly once per partition.
-            self.flush(&mut table, &mut writers, 0)?;
-            for w in writers.expect("writers present") {
-                if w.rows() > 0 {
-                    pending.push((w.into_reader()?, 1));
-                }
-            }
-        }
-        let groups = Self::table_into_groups(table);
-        self.state = AggState::Draining { groups, pending };
-        Ok(())
-    }
-
-    /// Generic per-row update through the shared [`Acc`] machinery. Returns
-    /// `true` when the reservation could not cover every new group.
-    fn update_generic(
-        &mut self,
-        batch: &RowBatch,
-        key_cols: &[ColumnRef],
-        arg_cols: &[Option<ColumnRef>],
-        table: &mut AggTable,
-    ) -> Result<bool> {
-        let AggTable::Generic(map) = table else {
-            unreachable!("caller demoted the table");
-        };
-        let mut over = false;
-        for i in 0..batch.num_rows() {
-            let keys: Vec<GroupKey> = key_cols.iter().map(|c| c.group_key_at(i)).collect();
-            let args: Vec<Option<Value>> =
-                arg_cols.iter().map(|c| c.as_ref().map(|col| col.value_at(i))).collect();
-            match map.entry(keys) {
-                Entry::Occupied(mut e) => {
-                    let (_, accs) = e.get_mut();
-                    for (acc, arg) in accs.iter_mut().zip(args) {
-                        acc.update(arg)?;
-                    }
-                }
-                Entry::Vacant(e) => {
-                    let reps: Vec<Value> = key_cols.iter().map(|c| c.value_at(i)).collect();
-                    let mut accs: Vec<Acc> = self.aggs.iter().map(Acc::new).collect();
-                    for (acc, arg) in accs.iter_mut().zip(args) {
-                        acc.update(arg)?;
-                    }
-                    let bytes = HashAggregate::entry_bytes(&reps, &accs);
-                    e.insert((reps, accs));
-                    over |= !self.reservation.try_grow(bytes);
-                }
-            }
-        }
-        Ok(over)
     }
 
     fn table_into_groups(table: AggTable) -> Vec<GroupState> {
@@ -931,39 +1014,332 @@ impl BatchHashAggregate {
         }
     }
 
-    /// Merge one spilled partition of partial rows; partitions that still
-    /// exceed the budget re-partition one level deeper (depth-salted hash).
-    fn merge_partition(&mut self, mut reader: SpillReader, depth: u32) -> Result<()> {
-        let arities: Vec<usize> = self.aggs.iter().map(Acc::partial_arity).collect();
-        let k = self.group_by.len();
+    /// Turn a table into a generic group map (for cross-worker merging).
+    fn into_generic(table: AggTable) -> HashMap<Vec<GroupKey>, GroupState> {
+        match table {
+            AggTable::Generic(map) => map,
+            fast @ AggTable::Fast { .. } => {
+                let mut t = fast;
+                Self::demote(&mut t);
+                let AggTable::Generic(map) = t else { unreachable!("just demoted") };
+                map
+            }
+        }
+    }
+}
+
+/// The vectorized aggregation operator. Same two-phase hybrid hash/grace
+/// scheme as the row [`HashAggregate`] — consume (spilling partial rows into
+/// `PARTITIONS` hash partitions under memory pressure), then merge each
+/// partition recursively — with batched input and expression evaluation.
+///
+/// With a [`Segment`] input the consume phase runs morsel-parallel: every
+/// worker aggregates its morsels into a private table (spilling privately
+/// under pressure), and the coordinator merges the partial tables — and any
+/// per-worker spill partitions, matched up by partition index, which is
+/// sound because [`HashAggregate::partition_of`] is a deterministic salted
+/// hash — exactly as if they were one run.
+pub struct BatchHashAggregate {
+    input: AggInput,
+    core: Arc<AggCore>,
+    ctx: ExecContext,
+    reservation: Reservation,
+    state: AggState,
+}
+
+enum AggInput {
+    /// Sequential: pull batches from an input stream.
+    Stream(Box<dyn BatchStream>),
+    /// Morsel-parallel: run the segment on a worker pool.
+    Parallel(Segment),
+    Consumed,
+}
+
+enum AggState {
+    Pending,
+    Draining {
+        groups: Vec<GroupState>,
+        /// Spilled partitions still to merge: the readers covering one
+        /// partition's key space (several under parallel consume — one per
+        /// worker that spilled — plus the coordinator's), and the depth.
+        pending: Vec<(Vec<SpillReader>, u32)>,
+    },
+    Done,
+}
+
+impl BatchHashAggregate {
+    /// Create the operator over a sequential input stream.
+    pub fn new(
+        input: Box<dyn BatchStream>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Self {
+        Self::with_input(AggInput::Stream(input), group_by, aggs, ctx)
+    }
+
+    /// Create the operator over a morsel-parallel input segment.
+    pub(crate) fn new_parallel(
+        segment: Segment,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Self {
+        Self::with_input(AggInput::Parallel(segment), group_by, aggs, ctx)
+    }
+
+    fn with_input(
+        input: AggInput,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Self {
+        let reservation = Reservation::empty(&ctx.budget);
+        BatchHashAggregate {
+            input,
+            core: Arc::new(AggCore::new(group_by, aggs)),
+            ctx,
+            reservation,
+            state: AggState::Pending,
+        }
+    }
+
+    /// Phase 1: consume the input batch-at-a-time. Budget checks run per
+    /// batch: if the reservation could not cover the batch's new groups, the
+    /// whole table flushes to partitions afterwards.
+    fn consume(&mut self) -> Result<()> {
+        match std::mem::replace(&mut self.input, AggInput::Consumed) {
+            AggInput::Stream(input) => self.consume_stream(input),
+            AggInput::Parallel(segment) => {
+                let results = parallel::run_agg_workers(&self.core, segment, &self.ctx)?;
+                self.merge_workers(results)
+            }
+            AggInput::Consumed => unreachable!("consume called twice"),
+        }
+    }
+
+    fn consume_stream(&mut self, mut input: Box<dyn BatchStream>) -> Result<()> {
+        let core = Arc::clone(&self.core);
+        let mut table = core.new_table();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+        let mut saw_rows = false;
+
+        while let Some(batch) = input.next_batch()? {
+            if batch.is_empty() {
+                continue;
+            }
+            saw_rows = true;
+            let over_budget = core.update_batch(&batch, &mut table, &mut self.reservation)?;
+            if over_budget {
+                // Budget exhausted: spill the whole table (including the
+                // entries just inserted — partials merge in phase 2).
+                core.flush(
+                    &mut table,
+                    &mut writers,
+                    0,
+                    &self.ctx.spill,
+                    &mut self.reservation,
+                )?;
+            }
+        }
+
+        // Global aggregate over empty input produces one all-default row.
+        if !saw_rows && core.group_by.is_empty() {
+            self.set_default_row();
+            return Ok(());
+        }
+
+        let mut pending = Vec::new();
+        if writers.is_some() {
+            // Route the residue through the partitions as well, so the merge
+            // phase sees every group exactly once per partition.
+            core.flush(&mut table, &mut writers, 0, &self.ctx.spill, &mut self.reservation)?;
+            for w in writers.expect("writers present") {
+                if w.rows() > 0 {
+                    pending.push((vec![w.into_reader()?], 1));
+                }
+            }
+        }
+        let groups = AggCore::table_into_groups(table);
+        self.state = AggState::Draining { groups, pending };
+        Ok(())
+    }
+
+    fn set_default_row(&mut self) {
+        let accs: Vec<Acc> = self.core.aggs.iter().map(Acc::new).collect();
+        self.state = AggState::Draining {
+            groups: vec![(Vec::new(), accs)],
+            pending: Vec::new(),
+        };
+    }
+
+    /// Merge per-worker partial aggregation results into the operator's
+    /// final state. Worker tables merge in worker order into one table
+    /// (flushing to partitions if the budget runs out mid-merge); per-worker
+    /// spill partitions are matched up by partition index and merged
+    /// together in phase 2, so every group still surfaces exactly once.
+    fn merge_workers(&mut self, results: Vec<WorkerAgg>) -> Result<()> {
+        let core = Arc::clone(&self.core);
+        let mut total_rows = 0u64;
+        let mut table = core.new_table();
+        let mut writers: Option<Vec<SpillWriter>> = None;
+        let mut worker_writers: Vec<Vec<SpillWriter>> = Vec::new();
+
+        for (w, worker) in results.into_iter().enumerate() {
+            total_rows += worker.rows_seen;
+            if w == 0 {
+                // The first worker's table seeds the merge wholesale — its
+                // groups keep their existing charge (adopted below) instead
+                // of being re-inserted one by one.
+                table = worker.table;
+                self.reservation.adopt(worker.reservation);
+            } else {
+                let over = self.merge_table(&mut table, worker.table)?;
+                // The worker's charge is released now that its entries
+                // moved into the coordinator table (re-charged above).
+                drop(worker.reservation);
+                if over {
+                    core.flush(
+                        &mut table,
+                        &mut writers,
+                        0,
+                        &self.ctx.spill,
+                        &mut self.reservation,
+                    )?;
+                }
+            }
+            if let Some(ws) = worker.writers {
+                worker_writers.push(ws);
+            }
+        }
+
+        if total_rows == 0 && core.group_by.is_empty() {
+            self.set_default_row();
+            return Ok(());
+        }
+
+        let mut pending: Vec<(Vec<SpillReader>, u32)> = Vec::new();
+        if writers.is_some() || !worker_writers.is_empty() {
+            // Someone spilled: route every in-memory group through the
+            // partitions too, then merge each partition's readers (from all
+            // workers plus the coordinator) as one key space.
+            core.flush(&mut table, &mut writers, 0, &self.ctx.spill, &mut self.reservation)?;
+            let mut per_part: Vec<Vec<SpillReader>> =
+                (0..PARTITIONS).map(|_| Vec::new()).collect();
+            for ws in worker_writers.into_iter().chain(writers) {
+                for (p, w) in ws.into_iter().enumerate() {
+                    if w.rows() > 0 {
+                        per_part[p].push(w.into_reader()?);
+                    }
+                }
+            }
+            for readers in per_part {
+                if !readers.is_empty() {
+                    pending.push((readers, 1));
+                }
+            }
+        }
+        let groups = AggCore::table_into_groups(table);
+        self.state = AggState::Draining { groups, pending };
+        Ok(())
+    }
+
+    /// Merge one worker's table into the coordinator table, charging the
+    /// operator reservation per new group. Returns `true` on budget
+    /// exhaustion (caller flushes).
+    fn merge_table(&mut self, dst: &mut AggTable, src: AggTable) -> Result<bool> {
+        let mut over = false;
+        match (&mut *dst, src) {
+            (
+                AggTable::Fast { map, keys, sums },
+                AggTable::Fast { keys: src_keys, sums: src_sums, .. },
+            ) => {
+                for (g, &k) in src_keys.iter().enumerate() {
+                    let d = match map.entry(k) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let d = keys.len() as u32;
+                            e.insert(d);
+                            keys.push(k);
+                            for per_agg in sums.iter_mut() {
+                                per_agg.push(0.0);
+                            }
+                            over |= !self.reservation.try_grow(self.core.fast_bytes);
+                            d
+                        }
+                    };
+                    for (a, src_per_agg) in src_sums.iter().enumerate() {
+                        sums[a][d as usize] += src_per_agg[g];
+                    }
+                }
+            }
+            (_, src) => {
+                // Mixed or generic: merge through the shared Acc machinery.
+                AggCore::demote(dst);
+                let AggTable::Generic(dst_map) = dst else { unreachable!("just demoted") };
+                for (keys, (reps, accs)) in AggCore::into_generic(src) {
+                    match dst_map.entry(keys) {
+                        Entry::Occupied(mut e) => {
+                            let (_, dst_accs) = e.get_mut();
+                            for (d, s) in dst_accs.iter_mut().zip(&accs) {
+                                d.merge_from(s)?;
+                            }
+                        }
+                        Entry::Vacant(e) => {
+                            let bytes = HashAggregate::entry_bytes(&reps, &accs);
+                            e.insert((reps, accs));
+                            over |= !self.reservation.try_grow(bytes);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(over)
+    }
+
+    /// Merge one spilled partition of partial rows (possibly split over
+    /// several readers under parallel consume); partitions that still exceed
+    /// the budget re-partition one level deeper (depth-salted hash).
+    fn merge_partition(&mut self, readers: Vec<SpillReader>, depth: u32) -> Result<()> {
+        let core = Arc::clone(&self.core);
+        let arities: Vec<usize> = core.aggs.iter().map(Acc::partial_arity).collect();
+        let k = core.group_by.len();
         let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
         let mut writers: Option<Vec<SpillWriter>> = None;
 
-        while let Some(row) = reader.next_row()? {
-            let reps: Vec<Value> = row[..k].to_vec();
-            let keys: Vec<GroupKey> = reps.iter().map(Value::group_key).collect();
-            let is_new = !map.contains_key(&keys);
-            let (_, accs) = map
-                .entry(keys)
-                .or_insert_with(|| (reps, self.aggs.iter().map(Acc::new).collect()));
-            let mut pos = k;
-            for (acc, &arity) in accs.iter_mut().zip(&arities) {
-                acc.merge_partial(&row[pos..pos + arity])?;
-                pos += arity;
-            }
-            if is_new {
-                let est = row_bytes(&row) + 64 + 48 * self.aggs.len();
-                if !self.reservation.try_grow(est) {
-                    if depth >= MAX_DEPTH {
-                        // A partition at maximum depth is 16^MAX_DEPTH-fold
-                        // smaller than the input; finish it with a bounded
-                        // uncharged working set rather than fail.
-                        continue;
+        for mut reader in readers {
+            while let Some(row) = reader.next_row()? {
+                let reps: Vec<Value> = row[..k].to_vec();
+                let keys: Vec<GroupKey> = reps.iter().map(Value::group_key).collect();
+                let is_new = !map.contains_key(&keys);
+                let (_, accs) = map
+                    .entry(keys)
+                    .or_insert_with(|| (reps, core.aggs.iter().map(Acc::new).collect()));
+                let mut pos = k;
+                for (acc, &arity) in accs.iter_mut().zip(&arities) {
+                    acc.merge_partial(&row[pos..pos + arity])?;
+                    pos += arity;
+                }
+                if is_new {
+                    let est = row_bytes(&row) + 64 + 48 * core.aggs.len();
+                    if !self.reservation.try_grow(est) {
+                        if depth >= MAX_DEPTH {
+                            // A partition at maximum depth is 16^MAX_DEPTH-fold
+                            // smaller than the input; finish it with a bounded
+                            // uncharged working set rather than fail.
+                            continue;
+                        }
+                        let mut tmp = AggTable::Generic(std::mem::take(&mut map));
+                        core.flush(
+                            &mut tmp,
+                            &mut writers,
+                            depth,
+                            &self.ctx.spill,
+                            &mut self.reservation,
+                        )?;
+                        let AggTable::Generic(flushed) = tmp else { unreachable!() };
+                        map = flushed;
                     }
-                    let mut tmp = AggTable::Generic(std::mem::take(&mut map));
-                    self.flush(&mut tmp, &mut writers, depth)?;
-                    let AggTable::Generic(flushed) = tmp else { unreachable!() };
-                    map = flushed;
                 }
             }
         }
@@ -971,12 +1347,12 @@ impl BatchHashAggregate {
         let mut extra_pending = Vec::new();
         if writers.is_some() {
             let mut tmp = AggTable::Generic(std::mem::take(&mut map));
-            self.flush(&mut tmp, &mut writers, depth)?;
+            core.flush(&mut tmp, &mut writers, depth, &self.ctx.spill, &mut self.reservation)?;
             let AggTable::Generic(flushed) = tmp else { unreachable!() };
             map = flushed;
             for w in writers.expect("writers present") {
                 if w.rows() > 0 {
-                    extra_pending.push((w.into_reader()?, depth + 1));
+                    extra_pending.push((vec![w.into_reader()?], depth + 1));
                 }
             }
         }
@@ -1034,7 +1410,7 @@ impl BatchStream for BatchHashAggregate {
                     };
                     self.reservation.free();
                     match next_part {
-                        Some((reader, depth)) => self.merge_partition(reader, depth)?,
+                        Some((readers, depth)) => self.merge_partition(readers, depth)?,
                         None => self.state = AggState::Done,
                     }
                 }
@@ -1070,6 +1446,18 @@ mod tests {
         BoundExpr::Binary { left: Box::new(a), op, right: Box::new(b) }
     }
 
+    fn hash_join(
+        probe: Box<dyn BatchStream>,
+        build: Box<dyn BatchStream>,
+        lk: Vec<BoundExpr>,
+        rk: Vec<BoundExpr>,
+        ctx: &ExecContext,
+    ) -> BatchHashJoin {
+        let (table, reservation) =
+            JoinTable::build_from_stream(build, lk, rk, None, ctx).unwrap();
+        BatchHashJoin::new(probe, Arc::new(table), vec![reservation])
+    }
+
     #[test]
     fn filter_selects_and_preserves_order() {
         let f = BatchFilter {
@@ -1102,15 +1490,7 @@ mod tests {
             vec![Value::Int(2), Value::Int(201)],
             vec![Value::Null, Value::Int(202)],
         ];
-        let j = BatchHashJoin::create(
-            batches_of(left),
-            batches_of(right),
-            vec![col(0)],
-            vec![col(0)],
-            None,
-            &ctx(),
-        )
-        .unwrap();
+        let j = hash_join(batches_of(left), batches_of(right), vec![col(0)], vec![col(0)], &ctx());
         let out = drain_batches(Box::new(j));
         assert_eq!(out.len(), 2, "NULL keys never match");
         assert_eq!(out[0][3], Value::Int(200));
@@ -1124,15 +1504,8 @@ mod tests {
         // instead of materializing the whole cross product at once.
         let probe: Vec<Row> = (0..2000).map(|i| vec![Value::Int(1), Value::Int(i)]).collect();
         let build: Vec<Row> = (0..5).map(|j| vec![Value::Int(1), Value::Int(j)]).collect();
-        let mut j = BatchHashJoin::create(
-            batches_of(probe),
-            batches_of(build),
-            vec![col(0)],
-            vec![col(0)],
-            None,
-            &ctx(),
-        )
-        .unwrap();
+        let mut j =
+            hash_join(batches_of(probe), batches_of(build), vec![col(0)], vec![col(0)], &ctx());
         let mut total = 0;
         while let Some(b) = j.next_batch().unwrap() {
             assert!(b.num_rows() <= BATCH_SIZE + 5, "oversized batch: {}", b.num_rows());

@@ -82,6 +82,16 @@ impl MemoryBudget {
         }
     }
 
+    /// Reserve unconditionally, allowing the ledger to exceed its limit (a
+    /// bounded overdraft). For transient in-flight state that already
+    /// exists in memory — charging it keeps the ledger honest so other
+    /// reservations fail/spill sooner, instead of pretending the memory is
+    /// free.
+    pub(crate) fn reserve_overdraft(&self, bytes: usize) {
+        let next = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(next, Ordering::Relaxed);
+    }
+
     /// Release previously reserved bytes.
     pub fn release(&self, bytes: usize) {
         let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
@@ -117,6 +127,14 @@ impl Reservation {
         Reservation { budget: budget.clone(), bytes: 0 }
     }
 
+    /// Reserve `bytes` unconditionally (see [`MemoryBudget::reserve_overdraft`]):
+    /// the charge lands on the ledger even past the limit. Freed normally
+    /// (RAII on drop).
+    pub(crate) fn overdraft(budget: &MemoryBudget, bytes: usize) -> Self {
+        budget.reserve_overdraft(bytes);
+        Reservation { budget: budget.clone(), bytes }
+    }
+
     /// Grow this reservation by `bytes`.
     #[must_use]
     pub fn try_grow(&mut self, bytes: usize) -> bool {
@@ -145,6 +163,20 @@ impl Reservation {
     /// the limit in out-of-memory errors).
     pub fn budget(&self) -> &MemoryBudget {
         &self.budget
+    }
+
+    /// Take over `other`'s holding without touching the ledger. Both
+    /// reservations must charge the same budget — crate-internal because a
+    /// cross-budget adopt would silently corrupt both ledgers. This is how
+    /// staged reservations (per-chunk insert charges, per-worker operator
+    /// state) transfer into a long-lived owner atomically.
+    pub(crate) fn adopt(&mut self, mut other: Reservation) {
+        debug_assert!(
+            Arc::ptr_eq(&self.budget.inner, &other.budget.inner),
+            "adopting a reservation from a different budget"
+        );
+        self.bytes += other.bytes;
+        other.bytes = 0; // drop of `other` now releases nothing
     }
 
     /// Bytes currently held by this reservation.

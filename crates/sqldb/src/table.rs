@@ -26,14 +26,14 @@
 //! Column storage charges the shared [`MemoryBudget`] through a
 //! [`Reservation`], per column chunk: fast-lane (`INTEGER`/`DOUBLE`) cells
 //! cost 8 bytes/row, generic cells their [`Value::heap_bytes`]. Inserts
-//! first build the replacement chunks, then reserve exactly the byte delta —
-//! an insert that would exceed the budget fails atomically, leaving the
-//! table (and the ledger) untouched. The flip side of that atomicity: the
-//! replacement storage for the rows being inserted (or the touched chunks
-//! of a delete) exists transiently *before* the ledger check, so a mutation
-//! can briefly hold unaccounted memory proportional to the mutation size
-//! (not the table size). The memory-limit experiments only mutate tables
-//! via bounded CTAS chunks, which keeps the overshoot to ~4096 rows.
+//! reserve **as they pack**: every chunk charges a staged reservation the
+//! moment it seals, so a huge `INSERT` never holds more than one chunk
+//! (≤ [`CHUNK_ROWS`] rows) of unaccounted storage — packing aborts at the
+//! first chunk the budget refuses. The mutation stays all-or-nothing: the
+//! table is only touched after every chunk is packed *and* charged, and on
+//! failure the staged reservation drops, leaving table and ledger exactly
+//! as they were. Deletes only rebuild surviving chunks and only ever shrink
+//! the charge, so they cannot fail against a full budget.
 
 use std::sync::Arc;
 
@@ -233,8 +233,13 @@ impl Table {
             )));
         }
 
-        // Build the replacement tail + fresh chunks without touching the
-        // table, so the budget check below can be all-or-nothing.
+        // Rebuild the tail + fresh chunks without touching the table,
+        // reserving budget per chunk as the builders fill (streaming
+        // reserve-as-you-pack): packing stops at the first chunk the budget
+        // refuses, so the unaccounted transient is bounded by one open
+        // chunk, not the mutation size. The replaced tail's existing charge
+        // is credited against the first sealed chunk, making the staged
+        // total exactly the byte delta.
         let reopen_tail = self.chunks.last().is_some_and(|tail| tail.rows < CHUNK_ROWS);
         let (open, open_rows, replaced_bytes, replaced_rows) = if reopen_tail {
             let tail = self.chunks.last().expect("tail checked above");
@@ -245,30 +250,58 @@ impl Table {
         } else {
             (self.empty_builders(), 0, 0, 0)
         };
-        let sealed = self.pack_chunks(open, open_rows, rows);
+        let mut staged = Reservation::empty(self.reservation.budget());
+        let sealed = self.pack_chunks_charged(
+            open,
+            open_rows,
+            rows,
+            Some((&mut staged, replaced_bytes)),
+        )?;
 
-        let new_bytes: usize = sealed.iter().map(TableChunk::heap_bytes).sum();
+        // All chunks packed and charged: commit. Dropping `staged` on the
+        // error path above released everything, keeping inserts atomic.
         let new_rows: usize = sealed.iter().map(TableChunk::rows).sum();
-        let added = new_bytes.saturating_sub(replaced_bytes);
-        if !self.reservation.try_grow(added) {
-            return Err(Error::OutOfMemory {
-                requested: added,
-                budget: self.reservation.budget().limit(),
-            });
-        }
         let chunks = Arc::make_mut(&mut self.chunks);
         if reopen_tail {
             chunks.pop();
         }
         chunks.extend(sealed);
         self.rows += new_rows - replaced_rows;
+        self.reservation.adopt(staged);
         Ok(())
     }
 
     /// Pack `rows` into sealed chunks, continuing from an open builder set
-    /// holding `open_rows` rows already.
-    fn pack_chunks(&self, mut open: Vec<Column>, mut open_rows: usize, rows: Vec<Row>) -> Vec<TableChunk> {
+    /// holding `open_rows` rows already. With `charge` set, each chunk
+    /// reserves its bytes (minus any remaining `credit` for storage it
+    /// replaces) the moment it seals; a refused reservation aborts packing
+    /// with [`Error::OutOfMemory`]. Deletes pass `None`: they only ever
+    /// shrink the table's charge.
+    fn pack_chunks_charged(
+        &self,
+        mut open: Vec<Column>,
+        mut open_rows: usize,
+        rows: Vec<Row>,
+        mut charge: Option<(&mut Reservation, usize)>,
+    ) -> Result<Vec<TableChunk>> {
         let mut sealed: Vec<TableChunk> = Vec::new();
+        let mut seal = |chunk: TableChunk,
+                        charge: &mut Option<(&mut Reservation, usize)>|
+         -> Result<()> {
+            if let Some((reservation, credit)) = charge {
+                let bytes = chunk.heap_bytes();
+                let billed = bytes.saturating_sub(*credit);
+                *credit -= bytes.min(*credit);
+                if !reservation.try_grow(billed) {
+                    return Err(Error::OutOfMemory {
+                        requested: billed,
+                        budget: reservation.budget().limit(),
+                    });
+                }
+            }
+            sealed.push(chunk);
+            Ok(())
+        };
         for mut row in rows {
             for col in open.iter_mut().rev() {
                 col.push(row.pop().expect("arity checked"));
@@ -276,14 +309,14 @@ impl Table {
             open_rows += 1;
             if open_rows == CHUNK_ROWS {
                 let full = std::mem::replace(&mut open, self.empty_builders());
-                sealed.push(TableChunk::from_builders(full, CHUNK_ROWS));
+                seal(TableChunk::from_builders(full, CHUNK_ROWS), &mut charge)?;
                 open_rows = 0;
             }
         }
         if open_rows > 0 {
-            sealed.push(TableChunk::from_builders(open, open_rows));
+            seal(TableChunk::from_builders(open, open_rows), &mut charge)?;
         }
-        sealed
+        Ok(sealed)
     }
 
     /// Fresh typed builders for one chunk, in schema order.
@@ -334,9 +367,10 @@ impl Table {
             match survivors {
                 None => rebuilt.push(chunk.clone()),
                 Some(rows) if rows.is_empty() => {}
-                Some(rows) => {
-                    rebuilt.extend(self.pack_chunks(self.empty_builders(), 0, rows))
-                }
+                Some(rows) => rebuilt.extend(
+                    self.pack_chunks_charged(self.empty_builders(), 0, rows, None)
+                        .expect("uncharged packing cannot fail"),
+                ),
             }
         }
         let new_bytes: usize = rebuilt.iter().map(TableChunk::heap_bytes).sum();

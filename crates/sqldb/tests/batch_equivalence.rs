@@ -1,18 +1,21 @@
-//! Row-path vs batch-path equivalence on randomized tables.
+//! Row-path vs batch-path vs parallel-batch equivalence on randomized
+//! tables.
 //!
 //! The vectorized executor ([`qymera_sqldb::exec::vector`]) must produce
 //! byte-identical results to the row-at-a-time reference path for every
-//! query shape the planner can emit. These tests run the same SQL on two
-//! databases loaded with identical randomized data — one per execution path —
-//! and compare sorted result sets, plus assert the `EXPLAIN ANALYZE` batch
-//! counters that only the vectorized path reports.
+//! query shape the planner can emit — at every worker count. These tests
+//! run the same SQL on databases loaded with identical randomized data —
+//! one per execution path / parallelism setting — and compare sorted result
+//! sets, plus assert the `EXPLAIN ANALYZE` batch/worker counters that only
+//! the vectorized path reports. (The float data is dyadic so sums are
+//! FP-exact regardless of accumulation order.)
 
 use rand::{Rng, SeedableRng, StdRng};
 
 use qymera_sqldb::{Database, ExecPath, Value};
 
-/// Build the same randomized database twice, one per execution path.
-fn rand_pair(seed: u64, rows: usize) -> (Database, Database) {
+/// One randomized database on the given execution path and worker count.
+fn rand_db(seed: u64, rows: usize, path: ExecPath, parallelism: usize) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<Vec<Value>> = (0..rows)
         .map(|_| {
@@ -36,16 +39,25 @@ fn rand_pair(seed: u64, rows: usize) -> (Database, Database) {
             ]
         })
         .collect();
-    let make = |path: ExecPath| {
-        let mut db = Database::new();
-        db.set_exec_path(path);
-        db.execute("CREATE TABLE facts (k INTEGER, s INTEGER, v DOUBLE)").unwrap();
-        db.insert_rows("facts", data.clone()).unwrap();
-        db.execute("CREATE TABLE dims (k INTEGER, out_s INTEGER, w DOUBLE)").unwrap();
-        db.insert_rows("dims", dims.clone()).unwrap();
-        db
-    };
-    (make(ExecPath::Batch), make(ExecPath::Row))
+    let mut db = Database::new();
+    db.set_exec_path(path);
+    db.set_parallelism(parallelism);
+    db.execute("CREATE TABLE facts (k INTEGER, s INTEGER, v DOUBLE)").unwrap();
+    db.insert_rows("facts", data).unwrap();
+    db.execute("CREATE TABLE dims (k INTEGER, out_s INTEGER, w DOUBLE)").unwrap();
+    db.insert_rows("dims", dims).unwrap();
+    db
+}
+
+/// Build the same randomized database twice, one per execution path.
+fn rand_pair(seed: u64, rows: usize) -> (Database, Database) {
+    (rand_db(seed, rows, ExecPath::Batch, 1), rand_db(seed, rows, ExecPath::Row, 1))
+}
+
+fn sorted_rows(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
 }
 
 /// Run `sql` on both paths and require identical row sets.
@@ -54,12 +66,7 @@ fn assert_equivalent(seed: u64, sql: &str) {
     let b = batch.execute(sql).unwrap_or_else(|e| panic!("batch path failed: {e}\n{sql}"));
     let r = row.execute(sql).unwrap_or_else(|e| panic!("row path failed: {e}\n{sql}"));
     assert_eq!(b.columns(), r.columns(), "{sql}");
-    let key = |rows: &[Vec<Value>]| {
-        let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
-        v.sort();
-        v
-    };
-    assert_eq!(key(b.rows()), key(r.rows()), "{sql}");
+    assert_eq!(sorted_rows(b.rows()), sorted_rows(r.rows()), "{sql}");
 }
 
 #[test]
@@ -233,4 +240,177 @@ fn exec_path_is_switchable_and_defaults_to_batch() {
     let mut db = Database::new();
     db.set_exec_path(ExecPath::Row);
     assert_eq!(db.exec_path(), ExecPath::Row);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel execution
+// ---------------------------------------------------------------------------
+
+/// Three-way randomized equivalence: row path vs single-threaded batch vs
+/// morsel-parallel batch at 2–8 workers, over every parallelizable shape
+/// (filter/project pipelines, equi-join probes, fast-lane and generic
+/// aggregates, the full gate query). 5000 rows span five chunks, so the
+/// parallel operators genuinely engage.
+#[test]
+fn three_way_equivalence_across_worker_counts() {
+    let shapes = [
+        "SELECT k, s * 2 AS s2 FROM facts WHERE (s & 7) = 3",
+        "SELECT (s & ~7) | 5 AS masked, v * 2.0 AS dv FROM facts WHERE v IS NOT NULL",
+        "SELECT (facts.s & ~7) | dims.out_s AS s2, facts.v * dims.w AS amp \
+         FROM facts JOIN dims ON dims.k = (facts.k & 63)",
+        "SELECT (s & ~7) AS g, SUM(v * 0.5) AS total FROM facts GROUP BY (s & ~7)",
+        "SELECT k, COUNT(*) AS n, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS mean \
+         FROM facts GROUP BY k",
+        "SELECT SUM(v) AS t, COUNT(*) AS n FROM facts",
+        "WITH T1 AS (SELECT ((facts.s & ~1) | dims.out_s) AS s, \
+         SUM(facts.v * dims.w) AS r FROM facts \
+         JOIN dims ON dims.k = (facts.s & 1) \
+         GROUP BY ((facts.s & ~1) | dims.out_s)) \
+         SELECT s, r FROM T1 ORDER BY s LIMIT 100",
+    ];
+    for seed in 0..2 {
+        let mut row = rand_db(seed, 5000, ExecPath::Row, 1);
+        let mut batch1 = rand_db(seed, 5000, ExecPath::Batch, 1);
+        for sql in shapes {
+            let expect = sorted_rows(row.execute(sql).unwrap().rows());
+            let got1 = sorted_rows(batch1.execute(sql).unwrap().rows());
+            assert_eq!(expect, got1, "single-threaded batch diverged: {sql}");
+            for workers in [2usize, 4, 8] {
+                let mut par = rand_db(seed, 5000, ExecPath::Batch, workers);
+                let got = sorted_rows(par.execute(sql).unwrap().rows());
+                assert_eq!(expect, got, "{workers} workers diverged: {sql}");
+            }
+        }
+    }
+}
+
+/// Order-sensitive consumers must observe the sequential batch order even
+/// under parallel execution (morsel-order gathering): an unordered LIMIT
+/// over a filtered scan returns exactly the same rows.
+#[test]
+fn parallel_pipeline_preserves_sequential_order() {
+    for workers in [2usize, 4, 8] {
+        let mut seq = rand_db(11, 5000, ExecPath::Batch, 1);
+        let mut par = rand_db(11, 5000, ExecPath::Batch, workers);
+        let sql = "SELECT k, s, v FROM facts WHERE (s & 3) != 0 LIMIT 937";
+        let a = seq.execute(sql).unwrap();
+        let b = par.execute(sql).unwrap();
+        assert_eq!(a.rows(), b.rows(), "{workers} workers broke morsel order");
+    }
+}
+
+/// The spill paths must agree at every worker count: per-worker partition
+/// files merge with the coordinator's by partition index.
+#[test]
+fn parallel_spill_equivalence_under_tight_budget() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<Vec<Value>> = (0..60_000)
+        .map(|_| {
+            vec![Value::Int(rng.gen_range(0i64..20_000)), Value::Float(0.25)]
+        })
+        .collect();
+    let run = |parallelism: usize| {
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
+        db.set_parallelism(parallelism);
+        db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
+        db.insert_rows("big", data.clone()).unwrap();
+        let rs = db
+            .execute("SELECT k, SUM(v) AS t FROM big GROUP BY k ORDER BY k")
+            .unwrap();
+        assert!(db.stats().spill_files > 0, "{parallelism} workers expected to spill");
+        rs.into_rows()
+    };
+    let baseline = run(1);
+    assert!(baseline.len() > 15_000, "expected most groups to appear");
+    for workers in [2usize, 4, 8] {
+        assert_eq!(baseline, run(workers), "{workers} workers");
+    }
+}
+
+/// Budget parity: after a query completes, the ledger must return to the
+/// base-table charge at every worker count (all per-worker reservations are
+/// RAII-released), and the limit is honored throughout.
+#[test]
+fn parallel_budget_parity() {
+    let used_after = |parallelism: usize| {
+        let mut db = Database::with_memory_limit(4 * 1024 * 1024);
+        db.set_parallelism(parallelism);
+        db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..30_000)
+            .map(|i| vec![Value::Int(i % 5_000), Value::Float(0.5)])
+            .collect();
+        db.insert_rows("big", rows).unwrap();
+        let rs = db
+            .execute("SELECT k, SUM(v) AS t FROM big GROUP BY k ORDER BY k LIMIT 5")
+            .unwrap();
+        assert_eq!(rs.rows().len(), 5);
+        assert!(db.budget().used() > 0, "base table stays charged");
+        db.budget().used()
+    };
+    let base = used_after(1);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(base, used_after(workers), "{workers} workers leaked or lost budget");
+    }
+}
+
+/// `EXPLAIN ANALYZE` exposes the parallel plan: `workers=`/`morsels=` on
+/// the aggregate, and the absorbed scan still reports its rows/batches.
+#[test]
+fn explain_analyze_reports_workers_and_morsels() {
+    let mut db = Database::new();
+    db.set_parallelism(4);
+    db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..5000)
+        .map(|i| vec![Value::Int(i), Value::Float(1.0)])
+        .collect();
+    db.insert_rows("t", rows).unwrap();
+    let text = db
+        .explain_analyze("SELECT a & 3 AS g, SUM(b) AS t FROM t GROUP BY a & 3")
+        .unwrap();
+    assert!(text.contains("workers=4"), "aggregate should report workers:\n{text}");
+    assert!(text.contains("morsels=5"), "5 chunks = 5 morsels:\n{text}");
+    assert!(text.contains("rows=5000"), "absorbed scan still reports rows:\n{text}");
+
+    // Sequential execution must not report parallel counters.
+    db.set_parallelism(1);
+    let text = db
+        .explain_analyze("SELECT a & 3 AS g, SUM(b) AS t FROM t GROUP BY a & 3")
+        .unwrap();
+    assert!(!text.contains("workers="), "sequential plan reports no workers:\n{text}");
+}
+
+/// Repeated runs at a fixed worker count must be bit-for-bit reproducible
+/// even for non-dyadic float sums (where accumulation order shows in the
+/// last ulp) — this holds because aggregate workers take morsels by static
+/// striding, not dynamic claiming.
+#[test]
+fn parallel_float_sums_reproducible_at_fixed_worker_count() {
+    let run = || {
+        let mut db = Database::new();
+        db.set_parallelism(4);
+        db.execute("CREATE TABLE t (k INTEGER, v DOUBLE)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..30_000)
+            .map(|i| vec![Value::Int(i % 7), Value::Float(0.1 + (i as f64) * 1e-7)])
+            .collect();
+        db.insert_rows("t", rows).unwrap();
+        db.execute("SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY k")
+            .unwrap()
+            .into_rows()
+    };
+    let first = run();
+    assert_eq!(first.len(), 7);
+    for _ in 0..3 {
+        assert_eq!(first, run(), "same worker count must reproduce bit-for-bit");
+    }
+}
+
+/// The knob clamps to at least one worker and reads back.
+#[test]
+fn parallelism_knob_clamps() {
+    let mut db = Database::new();
+    assert!(db.parallelism() >= 1);
+    db.set_parallelism(0);
+    assert_eq!(db.parallelism(), 1);
+    db.set_parallelism(6);
+    assert_eq!(db.parallelism(), 6);
 }

@@ -47,6 +47,11 @@ pub struct SqlSimConfig {
     /// vectorized batch executor. Useful for A/B performance comparisons and
     /// as a correctness oracle; results are identical on both paths.
     pub row_engine: bool,
+    /// Worker threads for the engine's morsel-parallel batch execution.
+    /// `None` keeps the engine default (host core count, or the
+    /// `QYMERA_PARALLELISM` environment variable); `Some(1)` forces fully
+    /// sequential execution.
+    pub parallelism: Option<usize>,
 }
 
 /// One amplitude of the final state as the engine returned it. The basis
@@ -125,6 +130,9 @@ impl SqlSimulator {
         };
         if self.config.row_engine {
             db.set_exec_path(qymera_sqldb::ExecPath::Row);
+        }
+        if let Some(n) = self.config.parallelism {
+            db.set_parallelism(n);
         }
         db
     }
