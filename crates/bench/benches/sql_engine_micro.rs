@@ -124,6 +124,52 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full 16k-row `ORDER BY` (no LIMIT, so the top-k shortcut cannot engage)
+/// and a LEFT OUTER equi-join whose probe side half-misses — the two shapes
+/// that ran row operators behind adapter shims before the vectorized
+/// `BatchSort` / outer `BatchHashJoin` landed. Row path vs single-threaded
+/// batch isolates vectorization; the `par4` variants add the morsel-parallel
+/// scaling curve (meaningful only on multi-core hosts).
+fn bench_sort_and_outer_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_engine_micro");
+    group.sample_size(30);
+
+    const SORT: &str = "SELECT s, r, i FROM T0 ORDER BY s DESC";
+    // Keys 2 and 3 of `T0.s & 3` have no H row: half the probe side pads.
+    const LEFT_JOIN: &str =
+        "SELECT T0.s, H.out_s, T0.r * H.r AS w FROM T0 LEFT JOIN H ON H.in_s = (T0.s & 3)";
+
+    for (name, sql) in [("sort_16k", SORT), ("left_join_16k", LEFT_JOIN)] {
+        let mut batch_db = gate_db();
+        group.bench_function(format!("{name}_batch"), |b| {
+            b.iter(|| {
+                let rs = batch_db.execute(sql).unwrap();
+                std::hint::black_box(rs.rows().len())
+            })
+        });
+
+        let mut row_db = gate_db();
+        row_db.set_exec_path(ExecPath::Row);
+        group.bench_function(format!("{name}_rowpath"), |b| {
+            b.iter(|| {
+                let rs = row_db.execute(sql).unwrap();
+                std::hint::black_box(rs.rows().len())
+            })
+        });
+
+        let mut par_db = gate_db();
+        par_db.set_parallelism(4);
+        group.bench_function(format!("{name}_par4"), |b| {
+            b.iter(|| {
+                let rs = par_db.execute(sql).unwrap();
+                std::hint::black_box(rs.rows().len())
+            })
+        });
+    }
+
+    group.finish();
+}
+
 /// Sum the `r` column (index 1) of a batch through its fast lane — the read
 /// pattern of a vectorized SUM kernel.
 fn sum_r(batch: &RowBatch) -> f64 {
@@ -212,5 +258,5 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_scan);
+criterion_group!(benches, bench_engine, bench_sort_and_outer_join, bench_scan);
 criterion_main!(benches);

@@ -237,10 +237,15 @@ impl TableRef {
     }
 }
 
+/// Join flavor as written in the query. `RIGHT JOIN` exists only at the AST
+/// level: the planner rewrites it into a [`JoinKind::Left`] join with swapped
+/// inputs plus a column-reordering projection, so neither executor needs a
+/// right-outer operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
     Inner,
     Left,
+    Right,
     Cross,
 }
 
@@ -433,6 +438,7 @@ impl fmt::Display for Select {
             let kw = match j.kind {
                 JoinKind::Inner => "JOIN",
                 JoinKind::Left => "LEFT JOIN",
+                JoinKind::Right => "RIGHT JOIN",
                 JoinKind::Cross => "CROSS JOIN",
             };
             write!(f, " {kw} {}", j.table)?;

@@ -56,10 +56,10 @@ fn with_exec_stack<T: Send>(depth: usize, f: impl FnOnce() -> T + Send) -> T {
 
 /// Which physical execution path queries run on.
 ///
-/// The vectorized [`ExecPath::Batch`] path is the default; the row path is
-/// kept both as the reference implementation (row/batch equivalence is
-/// enforced by tests) and as the execution strategy for operators without a
-/// vectorized implementation.
+/// The vectorized [`ExecPath::Batch`] path is the default and covers every
+/// plan shape — sorts, outer/cross/non-equi joins, and DISTINCT aggregates
+/// included; the row path is kept purely as the independent reference
+/// implementation (row/batch equivalence is enforced by tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPath {
     /// Vectorized batch-at-a-time execution over columnar [`RowBatch`]

@@ -39,7 +39,10 @@ pub(crate) enum Acc {
     Min(Option<Value>),
     Max(Option<Value>),
     Avg { sum: f64, count: i64 },
-    /// DISTINCT aggregates keep the deduplicated inputs (in-memory only).
+    /// DISTINCT aggregates keep the deduplicated inputs. The set spills as a
+    /// count-prefixed value list inside the standard partial row (see
+    /// [`Acc::write_partial`]), so DISTINCT participates in partition
+    /// spilling and parallel per-worker merging like every other aggregate.
     Distinct { func: AggFunc, seen: HashMap<GroupKey, Value> },
 }
 
@@ -114,20 +117,44 @@ impl Acc {
                 if v.is_null() {
                     return Ok(());
                 }
-                seen.entry(v.group_key()).or_insert(v);
+                Self::insert_distinct(seen, v);
             }
         }
         Ok(())
     }
 
-    /// Number of values this accumulator contributes to a partial-state row.
-    pub(crate) fn partial_arity(agg: &AggExpr) -> usize {
-        match agg.func {
-            AggFunc::Avg => 2,
-            _ => 1,
+    /// Insert one value into a distinct set, keeping a *deterministic*
+    /// representative when numerically-equal values of different
+    /// representations share a [`GroupKey`] (`Int 2` vs `Float 2.0`): the
+    /// narrower representation wins, independent of arrival order. First-
+    /// seen-wins would make `SUM(DISTINCT …)`'s result type depend on input
+    /// order — and therefore on worker count under the parallel merge.
+    fn insert_distinct(seen: &mut HashMap<GroupKey, Value>, v: Value) {
+        fn repr_rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Big(_) => 1,
+                Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Null => 4,
+            }
+        }
+        match seen.entry(v.group_key()) {
+            Entry::Occupied(mut e) => {
+                if repr_rank(&v) < repr_rank(e.get()) {
+                    e.insert(v);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(v);
+            }
         }
     }
 
+    /// Serialize this accumulator's partial state onto `out`. Fixed-shape
+    /// accumulators contribute one value (two for AVG); DISTINCT contributes
+    /// a count followed by that many deduplicated values, making the record
+    /// self-describing for [`Acc::consume_partial`].
     pub(crate) fn write_partial(&self, out: &mut Row) -> Result<()> {
         match self {
             Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => {
@@ -138,54 +165,85 @@ impl Acc {
                 out.push(Value::Float(*sum));
                 out.push(Value::Int(*count));
             }
-            Acc::Distinct { .. } => {
-                return Err(Error::Unsupported(
-                    "DISTINCT aggregate exceeded the memory budget (cannot spill)".into(),
-                ))
+            Acc::Distinct { seen, .. } => {
+                out.push(Value::Int(seen.len() as i64));
+                // Serialize in total order, not HashMap order, so spill
+                // records are deterministic run to run.
+                out.extend(Self::sorted_distinct(seen).into_iter().cloned());
             }
         }
         Ok(())
     }
 
-    pub(crate) fn merge_partial(&mut self, vals: &[Value]) -> Result<()> {
+    /// The distinct set's values in [`Value::cmp_total`] order. DISTINCT
+    /// folds (SUM/AVG) and spill records must not depend on HashMap
+    /// iteration order — float accumulation order shows in the last ulp,
+    /// and a per-instance-seeded hash would make repeated runs differ.
+    fn sorted_distinct(seen: &HashMap<GroupKey, Value>) -> Vec<&Value> {
+        let mut vals: Vec<&Value> = seen.values().collect();
+        vals.sort_by(|a, b| a.cmp_total(b));
+        vals
+    }
+
+    /// Merge one accumulator's slice of a partial row (the inverse of
+    /// [`Acc::write_partial`]), reading from `row[*pos..]` and advancing
+    /// `*pos` past the consumed values.
+    pub(crate) fn consume_partial(&mut self, row: &[Value], pos: &mut usize) -> Result<()> {
         match self {
             Acc::Sum(state) => {
-                if !vals[0].is_null() {
+                let v = &row[*pos];
+                *pos += 1;
+                if !v.is_null() {
                     *state = Some(match state.take() {
-                        Some(cur) => cur.add(&vals[0])?,
-                        None => vals[0].clone(),
+                        Some(cur) => cur.add(v)?,
+                        None => v.clone(),
                     });
                 }
             }
-            Acc::Count(n) => *n += vals[0].as_i64()?,
+            Acc::Count(n) => {
+                *n += row[*pos].as_i64()?;
+                *pos += 1;
+            }
             Acc::Min(state) => {
-                if !vals[0].is_null() {
+                let v = &row[*pos];
+                *pos += 1;
+                if !v.is_null() {
                     let replace = match state {
-                        Some(cur) => vals[0].cmp_total(cur) == std::cmp::Ordering::Less,
+                        Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Less,
                         None => true,
                     };
                     if replace {
-                        *state = Some(vals[0].clone());
+                        *state = Some(v.clone());
                     }
                 }
             }
             Acc::Max(state) => {
-                if !vals[0].is_null() {
+                let v = &row[*pos];
+                *pos += 1;
+                if !v.is_null() {
                     let replace = match state {
-                        Some(cur) => vals[0].cmp_total(cur) == std::cmp::Ordering::Greater,
+                        Some(cur) => v.cmp_total(cur) == std::cmp::Ordering::Greater,
                         None => true,
                     };
                     if replace {
-                        *state = Some(vals[0].clone());
+                        *state = Some(v.clone());
                     }
                 }
             }
             Acc::Avg { sum, count } => {
-                *sum += vals[0].as_f64()?;
-                *count += vals[1].as_i64()?;
+                *sum += row[*pos].as_f64()?;
+                *count += row[*pos + 1].as_i64()?;
+                *pos += 2;
             }
-            Acc::Distinct { .. } => {
-                return Err(Error::Unsupported("cannot merge DISTINCT partials".into()))
+            Acc::Distinct { seen, .. } => {
+                let n = row[*pos].as_i64()? as usize;
+                if row.len() < *pos + 1 + n {
+                    return Err(Error::Io("truncated DISTINCT partial record".into()));
+                }
+                for v in &row[*pos + 1..*pos + 1 + n] {
+                    Self::insert_distinct(seen, v.clone());
+                }
+                *pos += 1 + n;
             }
         }
         Ok(())
@@ -194,10 +252,9 @@ impl Acc {
     /// Merge another accumulator of the same shape into this one (used when
     /// the parallel aggregate combines per-worker tables). Direct
     /// variant-to-variant merges — no partial-row round trip, which would
-    /// allocate per group per worker. DISTINCT accumulators cannot merge,
-    /// matching their cannot-spill restriction; mismatched shapes cannot
-    /// occur because every table derives its accumulators from the same
-    /// aggregate list.
+    /// allocate per group per worker. DISTINCT accumulators merge by set
+    /// union; mismatched shapes cannot occur because every table derives its
+    /// accumulators from the same aggregate list.
     pub(crate) fn merge_from(&mut self, other: &Acc) -> Result<()> {
         match (&mut *self, other) {
             (Acc::Sum(state), Acc::Sum(v)) => {
@@ -235,8 +292,10 @@ impl Acc {
                 *sum += s;
                 *count += c;
             }
-            (Acc::Distinct { .. }, _) | (_, Acc::Distinct { .. }) => {
-                return Err(Error::Unsupported("cannot merge DISTINCT partials".into()))
+            (Acc::Distinct { seen, .. }, Acc::Distinct { seen: other, .. }) => {
+                for v in other.values() {
+                    Self::insert_distinct(seen, v.clone());
+                }
             }
             _ => {
                 return Err(Error::Eval(
@@ -261,8 +320,11 @@ impl Acc {
             Acc::Distinct { func, seen } => match func {
                 AggFunc::Count => Value::Int(seen.len() as i64),
                 AggFunc::Sum => {
+                    // Fold in total order (see `sorted_distinct`): float
+                    // sums are then bit-identical across runs, execution
+                    // paths, and worker counts.
                     let mut acc: Option<Value> = None;
-                    for v in seen.values() {
+                    for v in Self::sorted_distinct(&seen) {
                         acc = Some(match acc {
                             Some(cur) => cur.add(v)?,
                             None => v.clone(),
@@ -275,7 +337,7 @@ impl Acc {
                         Value::Null
                     } else {
                         let mut s = 0.0;
-                        for v in seen.values() {
+                        for v in Self::sorted_distinct(&seen) {
                             s += v.as_f64()?;
                         }
                         Value::Float(s / seen.len() as f64)
@@ -331,6 +393,7 @@ enum State {
 }
 
 impl HashAggregate {
+    /// Aggregate `input` grouped by `group_by`, computing `aggs` per group.
     pub fn new(
         input: Box<dyn RowStream>,
         group_by: Vec<BoundExpr>,
@@ -460,7 +523,6 @@ impl HashAggregate {
     /// Merge one spilled partition of partial rows; partitions that still
     /// exceed the budget re-partition one level deeper (depth-salted hash).
     fn merge_partition(&mut self, mut reader: SpillReader, depth: u32) -> Result<()> {
-        let arities: Vec<usize> = self.aggs.iter().map(Acc::partial_arity).collect();
         let k = self.group_by.len();
         let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
         let mut writers: Option<Vec<SpillWriter>> = None;
@@ -473,9 +535,8 @@ impl HashAggregate {
                 .entry(keys)
                 .or_insert_with(|| (reps, self.aggs.iter().map(Acc::new).collect()));
             let mut pos = k;
-            for (acc, &arity) in accs.iter_mut().zip(&arities) {
-                acc.merge_partial(&row[pos..pos + arity])?;
-                pos += arity;
+            for acc in accs.iter_mut() {
+                acc.consume_partial(&row, &mut pos)?;
             }
             if is_new {
                 // Estimate with a fresh accumulator set (cheap, avoids
@@ -650,6 +711,26 @@ mod tests {
             out[0],
             vec![Value::Int(1), Value::Float(2.0), Value::Int(1), Value::Int(2)]
         );
+    }
+
+    #[test]
+    fn distinct_representative_is_order_independent() {
+        // Int 2 and Float 2.0 share a GroupKey; the retained representative
+        // (and so SUM(DISTINCT)'s result type) must not depend on which
+        // arrives first — sequential input order and parallel worker-merge
+        // order both reduce to the same narrowest-representation rule.
+        let aggs =
+            vec![AggExpr { func: AggFunc::Sum, arg: Some(BoundExpr::Column(1)), distinct: true }];
+        let forward = vec![
+            vec![Value::Int(1), Value::Float(2.0)],
+            vec![Value::Int(1), Value::Int(2)],
+        ];
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = run(forward, vec![BoundExpr::Column(0)], aggs.clone(), ctx());
+        let b = run(reversed, vec![BoundExpr::Column(0)], aggs, ctx());
+        assert_eq!(a, b);
+        assert!(matches!(a[0][1], Value::Int(2)), "narrower representation wins: {:?}", a);
     }
 
     #[test]

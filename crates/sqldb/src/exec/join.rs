@@ -36,6 +36,11 @@ pub fn build_join(
         JoinKind::Cross => Ok(Box::new(NestedLoopJoin::new(
             left, right, right_cols, None, false, ctx,
         )?)),
+        // The planner rewrites RIGHT JOIN into a swapped LEFT JOIN plus a
+        // reordering projection before execution (see `plan_select`).
+        JoinKind::Right => Err(Error::Plan(
+            "internal: RIGHT JOIN must be rewritten at plan time".into(),
+        )),
         JoinKind::Inner | JoinKind::Left => {
             let outer = kind == JoinKind::Left;
             match on {

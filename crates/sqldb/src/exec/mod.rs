@@ -3,11 +3,12 @@
 //!
 //! Simple operators (scan, filter, project, limit, union) live here; the
 //! blocking operators with out-of-core behaviour get their own modules:
-//! [`join`], [`aggregate`], [`sort`]. The columnar [`batch`] chunks and the
-//! batch-at-a-time operator set in [`vector`] form the engine's default
-//! execution path; the row streams below remain both the reference
-//! implementation (row/batch equivalence is tested) and the fallback for
-//! operators without a vectorized twin.
+//! [`join`], [`aggregate`], [`sort`], [`vsort`]. The columnar [`batch`]
+//! chunks and the batch-at-a-time operator set in [`vector`] form the
+//! engine's default execution path and cover every plan shape the planner
+//! emits (including sorts, outer/cross/non-equi joins, and DISTINCT
+//! aggregates); the row streams below remain as the independent reference
+//! implementation against which row/batch equivalence is tested.
 
 pub mod aggregate;
 pub mod batch;
@@ -15,6 +16,7 @@ pub mod join;
 pub mod parallel;
 pub mod sort;
 pub mod vector;
+pub mod vsort;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -33,6 +35,7 @@ use crate::value::Value;
 
 /// A pull-based row iterator. `next_row` returns `Ok(None)` at end of stream.
 pub trait RowStream {
+    /// Pull the next row, or `None` at end of stream.
     fn next_row(&mut self) -> Result<Option<Row>>;
 }
 
@@ -60,7 +63,9 @@ pub struct NodeStats {
 /// Shared execution environment.
 #[derive(Clone)]
 pub struct ExecContext {
+    /// The memory ledger every operator and base table charges.
     pub budget: MemoryBudget,
+    /// Directory receiving the spill files of out-of-core operators.
     pub spill: Arc<SpillDir>,
     /// Worker threads morsel-parallel operators may use. `1` disables
     /// parallel execution entirely (the sequential operators run unchanged).
@@ -93,6 +98,17 @@ fn node_label(plan: &Plan) -> String {
         Plan::Limit { limit, offset, .. } => format!("Limit {limit:?}+{offset}"),
         Plan::UnionAll { inputs } => format!("UnionAll [{}]", inputs.len()),
         Plan::Alias { .. } => "Alias".into(),
+    }
+}
+
+/// Replace an operator's `EXPLAIN ANALYZE` label with its physical-operator
+/// name. The batch planner calls this when it picks a strategy the logical
+/// label cannot express (`HashJoin Left` vs `NestedLoopJoin Cross`,
+/// `BatchSort` vs `TopKSort`), so plans show exactly which vectorized
+/// operator ran; the row path keeps the logical labels.
+pub(crate) fn set_node_label(ctx: &ExecContext, slot: Option<usize>, label: String) {
+    if let (Some(id), Some(stats)) = (slot, &ctx.instrument) {
+        stats.borrow_mut()[id].label = label;
     }
 }
 
@@ -347,6 +363,7 @@ pub struct VecStream {
 }
 
 impl VecStream {
+    /// Stream the given rows in order.
     pub fn new(rows: Vec<Row>) -> Self {
         VecStream { rows: rows.into_iter() }
     }

@@ -6,25 +6,25 @@
 //! [`super::batch::BATCH_SIZE`] rows each), assigned by *static striding*
 //! — worker `w` of `N` takes morsels `w, w+N, w+2N, …` — and each worker
 //! runs the pipeline stages rooted at that scan — filter, project, and
-//! inner equi-join probes against a shared read-only [`JoinTable`] —
+//! inner equi-join probes against a shared read-only `JoinTable` —
 //! entirely on its own thread. Static assignment (chunks are uniform, so
 //! it balances fine) is what makes runs reproducible: which worker
 //! accumulates which rows is a pure function of the worker count.
 //!
 //! Three consumers drive morsel workers:
 //!
-//! * **Pipelines** ([`spawn_pipeline`]): each worker sends its results over
+//! * **Pipelines** (`spawn_pipeline`): each worker sends its results over
 //!   its own *bounded* channel and the consumer reads the owning worker's
 //!   channel in morsel order, so downstream operators (limits, sorts, the
 //!   result collector) observe exactly the batch sequence sequential
 //!   execution produces, and workers can run ahead only by their channel
 //!   capacity — in-flight pipeline output is bounded by
 //!   `workers × (capacity + 1)` morsels.
-//! * **Hash-join build** ([`build_join_table`]): workers evaluate the build
+//! * **Hash-join build** (`build_join_table`): workers evaluate the build
 //!   side's key expressions per morsel; the coordinator inserts the results
 //!   in morsel order, reproducing the sequential table (and match order)
 //!   bit for bit.
-//! * **Hash-aggregate consume** ([`run_agg_workers`]): each worker owns a
+//! * **Hash-aggregate consume** (`run_agg_workers`): each worker owns a
 //!   private partial table, reservation, and — under memory pressure — its
 //!   own spill partitions, merged by
 //!   [`BatchHashAggregate`](super::vector::BatchHashAggregate) at finalize.
@@ -54,7 +54,7 @@ use crate::ast::JoinKind;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
-use crate::plan::logical::Plan;
+use crate::plan::logical::{Plan, SortKey};
 use crate::plan::optimizer::extract_equi_keys;
 use crate::storage::budget::Reservation;
 use crate::table::TableSnapshot;
@@ -64,6 +64,7 @@ use super::vector::{
     build_batch_stream_at, truthy_selection, AggCore, BatchStream, JoinTable,
     JoinTableBuilder, WorkerAgg,
 };
+use super::vsort::{SortWorker, WorkerSort};
 use super::{instrument_slot, ExecContext};
 
 // ---------------------------------------------------------------------------
@@ -78,8 +79,11 @@ enum MorselStage {
     Filter(BoundExpr),
     /// Projection expressions → fresh (or forwarded) columns.
     Project(Vec<BoundExpr>),
-    /// Inner equi-join probe against a shared, read-only build table.
-    Probe(Arc<JoinTable>),
+    /// Equi-join probe against a shared, read-only build table. The flag
+    /// marks LEFT OUTER probes: their null-pads are computed per probe
+    /// batch (the match bitmap never crosses a morsel), which is what makes
+    /// outer pipelines morsel-parallel without any cross-worker state.
+    Probe(Arc<JoinTable>, bool),
 }
 
 /// The `Send + Sync` heart of a segment: the pinned snapshot whose chunks
@@ -125,7 +129,9 @@ impl SegmentCore {
                             .collect::<Result<Vec<_>>>()?;
                         next.push(RowBatch::from_shared(cols));
                     }
-                    MorselStage::Probe(table) => next.extend(table.probe_batch(&batch)?),
+                    MorselStage::Probe(table, outer) => {
+                        next.extend(table.probe_batch(&batch, *outer)?)
+                    }
                 }
             }
             let rows: usize = next.iter().map(RowBatch::num_rows).sum();
@@ -248,7 +254,17 @@ fn segment_fanout(plan: &Plan, catalog: &Catalog) -> Option<usize> {
         Plan::Filter { input, .. }
         | Plan::Project { input, .. }
         | Plan::Alias { input, .. } => segment_fanout(input, catalog),
-        Plan::Join { left, right, kind: JoinKind::Inner, on: Some(cond), .. } => {
+        // Inner and LEFT OUTER equi-probes both qualify: an outer probe's
+        // null-pads are computed within each probe batch, so the stage stays
+        // morsel-local (per-row output is bounded by max(build, 1) either
+        // way — every probe row yields its matches or one pad).
+        Plan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner | JoinKind::Left,
+            on: Some(cond),
+            ..
+        } => {
             let left_cols = left.schema().len();
             let (lk, _, _) = extract_equi_keys(cond.clone(), left_cols);
             if lk.is_empty() {
@@ -335,15 +351,23 @@ pub(crate) fn build_segment(
             let seg = descend(input)?;
             push_stage(seg, MorselStage::Project(exprs.clone()), slot)
         }
-        Plan::Join { left, right, kind: JoinKind::Inner, on: Some(cond), .. } => {
+        Plan::Join {
+            left,
+            right,
+            kind: kind @ (JoinKind::Inner | JoinKind::Left),
+            on: Some(cond),
+            ..
+        } => {
             let left_cols = left.schema().len();
+            let right_cols = right.schema().len();
             let (lk, rk, residual) = extract_equi_keys(cond.clone(), left_cols);
             debug_assert!(!lk.is_empty(), "caller checked is_segment");
+            super::set_node_label(ctx, slot, format!("HashJoin {kind:?}"));
             let mut seg = descend(left)?;
             let (table, reservations) =
-                build_join_table(right, catalog, ctx, depth + 1, lk, rk, residual)?;
+                build_join_table(right, catalog, ctx, depth + 1, lk, rk, residual, right_cols)?;
             seg.reservations.extend(reservations);
-            push_stage(seg, MorselStage::Probe(table), slot)
+            push_stage(seg, MorselStage::Probe(table, *kind == JoinKind::Left), slot)
         }
         other => {
             return Err(Error::Plan(format!(
@@ -599,6 +623,7 @@ pub(crate) fn spawn_pipeline(
 /// evaluate morsel-parallel and the coordinator inserts the results in
 /// morsel order (identical table and match order to the sequential build);
 /// otherwise the plan runs as an ordinary batch stream.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_join_table(
     plan: &Plan,
     catalog: &Catalog,
@@ -607,11 +632,13 @@ pub(crate) fn build_join_table(
     left_keys: Vec<BoundExpr>,
     right_keys: Vec<BoundExpr>,
     residual: Option<BoundExpr>,
+    build_cols: usize,
 ) -> Result<(Arc<JoinTable>, Vec<Reservation>)> {
     if !parallel_eligible(plan, catalog, ctx) {
         let stream = build_batch_stream_at(plan, catalog, ctx, depth)?;
-        let (table, reservation) =
-            JoinTable::build_from_stream(stream, left_keys, right_keys, residual, ctx)?;
+        let (table, reservation) = JoinTable::build_from_stream(
+            stream, left_keys, right_keys, residual, build_cols, ctx,
+        )?;
         return Ok((Arc::new(table), vec![reservation]));
     }
 
@@ -648,89 +675,68 @@ pub(crate) fn build_join_table(
     segment.flush_stats(ctx);
     let mut reservations = segment.reservations;
     reservations.push(reservation);
-    Ok((Arc::new(builder.finish(left_keys, residual)), reservations))
+    Ok((Arc::new(builder.finish(left_keys, residual, build_cols)), reservations))
 }
 
 // ---------------------------------------------------------------------------
-// Consumer 3: parallel hash-aggregate consume
+// Consumers 3 & 4: fold-style breakers (aggregate consume, sort consume)
 // ---------------------------------------------------------------------------
 
-/// Run the aggregate consume phase morsel-parallel: each worker aggregates
-/// its morsels into a private table under its own reservation, spilling
-/// into its own partition files when the shared budget runs dry. Morsels
-/// are assigned by static striding (worker `w` takes `w, w+N, w+2N, …`):
-/// which worker accumulates which rows — and therefore the floating-point
-/// summation order — is a pure function of the worker count, so repeated
-/// runs are bit-for-bit reproducible.
-/// (Chunks are uniform, so static striding balances fine.) Results are
-/// returned in worker order; on error the earliest-morsel failure wins.
+/// Fan a segment's morsels over statically strided workers that *fold*
+/// per-worker state (unlike [`run_ordered`], which streams every morsel's
+/// result back over a channel). Worker `w` consumes morsels `w, w+N, …`
+/// into a private state built by `init`; the sealed states are returned in
+/// worker order. The shared protocol of both fold-style breakers:
 ///
-/// NOTE: the striding / `abort_at` / panic-join protocol here mirrors
-/// [`run_ordered`] (which streams per-morsel results instead of folding
-/// per-worker state) — change the two together.
-pub(crate) fn run_agg_workers(
-    core: &Arc<AggCore>,
-    segment: Segment,
+/// * **Static striding** — which worker sees which rows (and therefore any
+///   floating-point accumulation order) is a pure function of the worker
+///   count, so repeated runs at a fixed count are bit-for-bit reproducible
+///   (chunks are uniform, so striding balances fine).
+/// * **Deterministic errors** — a failure at morsel `f` lowers a shared
+///   high-water mark and workers only skip morsels *beyond* it, so the
+///   lowest failing morsel always computes and its error is the one
+///   surfaced: exactly the failure sequential execution hits first.
+/// * **Panic propagation** — a panicking worker resurfaces on the caller.
+///
+/// NOTE: [`run_ordered`] implements the same striding / high-water-mark /
+/// panic-join protocol around its streaming channels — change the two
+/// together.
+fn run_fold_workers<S: Send, T: Send>(
+    segment: &Segment,
     ctx: &ExecContext,
-) -> Result<Vec<WorkerAgg>> {
+    init: impl Fn() -> S + Sync,
+    consume: impl Fn(&mut S, usize) -> Result<()> + Sync,
+    finish: impl Fn(S) -> T + Sync,
+) -> Result<Vec<T>> {
     let total = segment.num_morsels();
     let workers = ctx.parallelism.min(total).max(1);
-    // High-water mark of the lowest failed morsel: workers only skip
-    // morsels beyond it, so the minimal failing morsel always computes and
-    // the surfaced error is deterministic (= sequential's first failure).
-    let abort_at = Arc::new(AtomicUsize::new(usize::MAX));
-    let mut handles = Vec::with_capacity(workers);
-    for w in 0..workers {
-        let core = Arc::clone(core);
-        let seg = Arc::clone(&segment.core);
-        let budget = ctx.budget.clone();
-        let spill = Arc::clone(&ctx.spill);
-        let abort_at = Arc::clone(&abort_at);
-        handles.push(thread::spawn(move || -> (usize, Result<WorkerAgg>) {
-            let mut worker = WorkerAgg {
-                table: core.new_table(),
-                writers: None,
-                reservation: Reservation::empty(&budget),
-                rows_seen: 0,
-            };
-            let mut i = w;
-            while i < total {
-                if i > abort_at.load(Ordering::Relaxed) {
-                    break;
-                }
-                let step = (|| -> Result<()> {
-                    for batch in seg.run_morsel(i)? {
-                        worker.rows_seen += batch.num_rows() as u64;
-                        let over =
-                            core.update_batch(&batch, &mut worker.table, &mut worker.reservation)?;
-                        if over {
-                            core.flush(
-                                &mut worker.table,
-                                &mut worker.writers,
-                                0,
-                                &spill,
-                                &mut worker.reservation,
-                            )?;
+    let abort_at = AtomicUsize::new(usize::MAX);
+    let results: Vec<(usize, Result<T>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (abort_at, init, consume, finish) = (&abort_at, &init, &consume, &finish);
+                scope.spawn(move || -> (usize, Result<T>) {
+                    let mut state = init();
+                    let mut i = w;
+                    while i < total {
+                        if i > abort_at.load(Ordering::Relaxed) {
+                            break;
                         }
+                        if let Err(e) = consume(&mut state, i) {
+                            abort_at.fetch_min(i, Ordering::Relaxed);
+                            return (i, Err(e));
+                        }
+                        i += workers;
                     }
-                    Ok(())
-                })();
-                if let Err(e) = step {
-                    abort_at.fetch_min(i, Ordering::Relaxed);
-                    return (i, Err(e));
-                }
-                i += workers;
-            }
-            (usize::MAX, Ok(worker))
-        }));
-    }
-    let mut results: Vec<(usize, Result<WorkerAgg>)> = Vec::with_capacity(workers);
-    for h in handles {
-        match h.join() {
-            Ok(r) => results.push(r),
-            Err(panic) => std::panic::resume_unwind(panic),
-        }
-    }
+                    (usize::MAX, Ok(finish(state)))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
     segment.flush_stats(ctx);
     if results.iter().any(|(_, r)| r.is_err()) {
         let (_, first) = results
@@ -741,10 +747,85 @@ pub(crate) fn run_agg_workers(
         let Err(e) = first else { unreachable!("filtered to errors") };
         return Err(e);
     }
-    let mut workers_out = Vec::with_capacity(results.len());
+    let mut out = Vec::with_capacity(results.len());
     for (_, r) in results {
-        let Ok(w) = r else { unreachable!("errors handled above") };
-        workers_out.push(w);
+        let Ok(t) = r else { unreachable!("errors handled above") };
+        out.push(t);
     }
-    Ok(workers_out)
+    Ok(out)
+}
+
+/// Run the aggregate consume phase morsel-parallel: each worker aggregates
+/// its morsels into a private table under its own reservation, spilling
+/// into its own partition files when the shared budget runs dry; the
+/// partial tables merge at finalize in
+/// [`BatchHashAggregate`](super::vector::BatchHashAggregate). Striding,
+/// error, and reproducibility semantics per [`run_fold_workers`].
+pub(crate) fn run_agg_workers(
+    core: &Arc<AggCore>,
+    segment: Segment,
+    ctx: &ExecContext,
+) -> Result<Vec<WorkerAgg>> {
+    let budget = ctx.budget.clone();
+    let spill = Arc::clone(&ctx.spill);
+    run_fold_workers(
+        &segment,
+        ctx,
+        || WorkerAgg {
+            table: core.new_table(),
+            writers: None,
+            reservation: Reservation::empty(&budget),
+            rows_seen: 0,
+        },
+        |worker, i| {
+            for batch in segment.core.run_morsel(i)? {
+                worker.rows_seen += batch.num_rows() as u64;
+                let over =
+                    core.update_batch(&batch, &mut worker.table, &mut worker.reservation)?;
+                if over {
+                    core.flush(
+                        &mut worker.table,
+                        &mut worker.writers,
+                        0,
+                        &spill,
+                        &mut worker.reservation,
+                    )?;
+                }
+            }
+            Ok(())
+        },
+        |worker| worker,
+    )
+}
+
+/// Run a sort's consume phase morsel-parallel: each worker evaluates sort
+/// keys over its strided morsels and accumulates a private buffer —
+/// spilling sorted runs under budget pressure, or keeping a bounded top-k
+/// heap — via [`SortWorker`]. The per-worker results merge at the breaker
+/// in [`super::vsort::BatchSort`]; because every row carries a global
+/// ordinal, the merged output is byte-identical to the sequential sort at
+/// every worker count. Striding, error, and reproducibility semantics per
+/// [`run_fold_workers`].
+pub(crate) fn run_sort_workers(
+    segment: Segment,
+    keys: &[SortKey],
+    desc: &Arc<Vec<bool>>,
+    topk: Option<usize>,
+    ctx: &ExecContext,
+) -> Result<Vec<WorkerSort>> {
+    let budget = ctx.budget.clone();
+    let spill = Arc::clone(&ctx.spill);
+    run_fold_workers(
+        &segment,
+        ctx,
+        || SortWorker::new(keys, desc, topk, &budget, &spill),
+        |worker, i| {
+            worker.begin_morsel(i);
+            for batch in segment.core.run_morsel(i)? {
+                worker.consume_batch(&batch)?;
+            }
+            Ok(())
+        },
+        SortWorker::finish,
+    )
 }

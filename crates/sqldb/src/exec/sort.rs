@@ -18,8 +18,10 @@ use crate::value::Value;
 
 use super::{eval_values, ExecContext, RowStream};
 
-/// Compare two key tuples under per-key ASC/DESC flags.
-fn cmp_keys(a: &[Value], b: &[Value], desc: &[bool]) -> Ordering {
+/// Compare two key tuples under per-key ASC/DESC flags (shared with the
+/// vectorized sort in [`super::vsort`], whose run-merge phase must order
+/// spilled records exactly like this row-path sort does).
+pub(crate) fn cmp_keys(a: &[Value], b: &[Value], desc: &[bool]) -> Ordering {
     for ((x, y), d) in a.iter().zip(b.iter()).zip(desc.iter()) {
         let ord = x.cmp_total(y);
         let ord = if *d { ord.reverse() } else { ord };
@@ -33,6 +35,8 @@ fn cmp_keys(a: &[Value], b: &[Value], desc: &[bool]) -> Ordering {
 /// (key values, payload row) — the unit sorted and spilled.
 type Keyed = (Vec<Value>, Row);
 
+/// The row-path external merge sort operator (reference implementation; the
+/// batch pipeline sorts with [`super::vsort::BatchSort`]).
 pub struct ExternalSort {
     input: Option<Box<dyn RowStream>>,
     keys: Vec<SortKey>,
@@ -86,6 +90,7 @@ impl Ord for HeapEntry {
 }
 
 impl ExternalSort {
+    /// Sort `input` by `keys`, spilling runs when the budget is exceeded.
     pub fn new(input: Box<dyn RowStream>, keys: Vec<SortKey>, ctx: ExecContext) -> Self {
         let desc = Rc::new(keys.iter().map(|k| k.desc).collect::<Vec<_>>());
         let reservation = Reservation::empty(&ctx.budget);

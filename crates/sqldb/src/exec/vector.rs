@@ -4,14 +4,14 @@
 //! row per virtual call through [`RowStream`], operators exchange columnar
 //! [`RowBatch`]es of ~[`BATCH_SIZE`] rows, amortizing dispatch and running
 //! the expression kernels of [`crate::vexpr`] over primitive slices. The
-//! operator set covers exactly the chain Qymera's translator emits for gate
-//! application — scan, filter, project, hash join, hash aggregate (plus
-//! limit/union/alias) — which is the hot path of the entire SQL backend.
-//!
-//! Operators without a vectorized implementation (sort, outer and non-equi
-//! joins, DISTINCT aggregates) run their proven row implementations behind
-//! the [`BatchToRow`]/[`RowToBatch`] adapter shims, so every plan executes on
-//! either path with identical results. One caveat, standard for vectorized
+//! operator set covers **every plan shape the planner emits**: scan, filter,
+//! project, hash join (inner and LEFT OUTER), nested-loop join (cross and
+//! non-equi), hash aggregate (including DISTINCT), sort/top-k (see
+//! [`super::vsort`]), limit, union, and alias. There is no row-operator
+//! fallback left in this pipeline; the row executor survives purely as the
+//! reference implementation ([`BatchToRow`]/[`RowToBatch`] remain only as
+//! boundary adapters — the result collector in [`crate::db`] and tests).
+//! One caveat, standard for vectorized
 //! engines: **error detection is batch-granular**. Expressions evaluate over
 //! a whole batch before downstream operators see any of it, so a failing row
 //! (say `10 / x` with `x = 0`) raises its error even when a downstream
@@ -27,13 +27,14 @@
 //! flushes.
 //!
 //! When [`ExecContext::parallelism`] is greater than one, eligible pipeline
-//! segments (scan → filter/project/equi-join-probe chains over a base table)
-//! execute morsel-parallel on a worker pool — see [`super::parallel`] — and
-//! both pipeline breakers parallelize their heavy phase: the hash-join build
-//! merges per-morsel key evaluations in morsel order, and the hash aggregate
-//! merges per-worker partial tables (including per-worker spill partitions)
-//! at finalize. `parallelism = 1` takes exactly the sequential code paths
-//! below.
+//! segments (scan → filter/project/equi-join-probe chains over a base table,
+//! outer probes included) execute morsel-parallel on a worker pool — see
+//! [`super::parallel`] — and every pipeline breaker parallelizes its heavy
+//! phase: the hash-join build merges per-morsel key evaluations in morsel
+//! order, the hash aggregate merges per-worker partial tables (including
+//! per-worker spill partitions) at finalize, and the sort merges per-worker
+//! sorted runs at the breaker ([`super::vsort`]). `parallelism = 1` takes
+//! exactly the sequential code paths below.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -53,10 +54,10 @@ use crate::table::TableSnapshot;
 use crate::value::{GroupKey, Value};
 
 use super::aggregate::{Acc, GroupState, HashAggregate, MAX_DEPTH, PARTITIONS};
-use super::batch::{Column, ColumnRef, RowBatch, BATCH_SIZE};
-use super::join::{self, BUILD_OVERDRAFT_ROWS};
+use super::batch::{BatchBuilder, Column, ColumnRef, RowBatch, BATCH_SIZE};
+use super::join::BUILD_OVERDRAFT_ROWS;
 use super::parallel::{self, Segment};
-use super::{instrument_slot, sort, ExecContext, NodeStats, RowStream};
+use super::{instrument_slot, set_node_label, vsort, ExecContext, NodeStats, RowStream};
 
 /// A pull-based batch iterator. `next_batch` returns `Ok(None)` at end of
 /// stream; emitted batches are never empty.
@@ -84,14 +85,24 @@ pub(crate) fn build_batch_stream_at(
     // Reserve this node's stats slot before recursing (pre-order render).
     let slot = instrument_slot(ctx, plan, depth);
     let stream = build_batch_stream_inner(plan, catalog, ctx, depth, slot)?;
-    Ok(match (slot, &ctx.instrument) {
+    Ok(instrument_wrap(stream, slot, ctx))
+}
+
+/// Wrap `stream` with the `EXPLAIN ANALYZE` counter shim when a stats slot
+/// was reserved for it.
+pub(crate) fn instrument_wrap(
+    stream: Box<dyn BatchStream>,
+    slot: Option<usize>,
+    ctx: &ExecContext,
+) -> Box<dyn BatchStream> {
+    match (slot, &ctx.instrument) {
         (Some(id), Some(stats)) => Box::new(InstrumentedBatch {
             inner: stream,
             id,
             stats: Rc::clone(stats),
         }),
         _ => stream,
-    })
+    }
 }
 
 fn build_batch_stream_inner(
@@ -126,12 +137,18 @@ fn build_batch_stream_inner(
             exprs: exprs.clone(),
         }),
         Plan::Join { left, right, kind, on, .. } => {
+            if *kind == JoinKind::Right {
+                return Err(Error::Plan(
+                    "internal: RIGHT JOIN must be rewritten at plan time".into(),
+                ));
+            }
             let left_cols = left.schema().len();
             let right_cols = right.schema().len();
+            let outer = *kind == JoinKind::Left;
             // Decide the strategy before building children (each child
             // registers exactly one instrumentation slot).
             let equi = match (kind, on) {
-                (JoinKind::Inner, Some(cond)) => {
+                (JoinKind::Inner | JoinKind::Left, Some(cond)) => {
                     let (lk, rk, residual) = extract_equi_keys(cond.clone(), left_cols);
                     if lk.is_empty() {
                         None
@@ -142,8 +159,9 @@ fn build_batch_stream_inner(
                 _ => None,
             };
             match equi {
-                // Inner equi-joins get the vectorized probe ...
+                // Equi-keys (inner or left outer) take the vectorized probe.
                 Some((lk, rk, residual)) => {
+                    set_node_label(ctx, slot, format!("HashJoin {kind:?}"));
                     let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
                     let (table, reservations) = parallel::build_join_table(
                         right,
@@ -153,31 +171,44 @@ fn build_batch_stream_inner(
                         lk,
                         rk,
                         residual,
+                        right_cols,
                     )?;
-                    Box::new(BatchHashJoin::new(l, table, reservations))
+                    Box::new(BatchHashJoin::new(l, table, reservations, outer))
                 }
-                // ... everything else (cross, outer, non-equi) runs the row
-                // join between adapter shims.
+                // Cross and non-equi conditions run the vectorized nested
+                // loop with batched predicate evaluation.
                 None => {
+                    if outer && on.is_none() {
+                        return Err(Error::Unsupported(
+                            "LEFT JOIN requires an ON condition".into(),
+                        ));
+                    }
+                    set_node_label(ctx, slot, format!("NestedLoopJoin {kind:?}"));
                     let l = build_batch_stream_at(left, catalog, ctx, depth + 1)?;
                     let r = build_batch_stream_at(right, catalog, ctx, depth + 1)?;
-                    Box::new(RowToBatch::new(join::build_join(
-                        Box::new(BatchToRow::new(l)),
-                        Box::new(BatchToRow::new(r)),
+                    Box::new(BatchNestedLoopJoin::new(
+                        l,
+                        r,
                         left_cols,
                         right_cols,
-                        *kind,
                         on.clone(),
+                        outer,
                         ctx,
-                    )?))
+                    )?)
                 }
             }
         }
         Plan::Aggregate { input, group_by, aggs, .. } => {
-            let distinct = aggs.iter().any(|a| a.distinct);
-            if !distinct && parallel::agg_input_eligible(input, catalog, ctx) {
+            set_node_label(
+                ctx,
+                slot,
+                format!("HashAggregate [{} keys, {} aggs]", group_by.len(), aggs.len()),
+            );
+            if parallel::agg_input_eligible(input, catalog, ctx) {
                 // Morsel-parallel consume: workers run the input segment and
                 // build per-worker partial tables, merged at finalize.
+                // DISTINCT aggregates participate: per-worker distinct sets
+                // merge by union, and their spill partials carry the sets.
                 let segment = parallel::descend_segment(input, catalog, ctx, depth)?;
                 let workers = ctx.parallelism.min(segment.num_morsels());
                 parallel::note_parallel(ctx, slot, workers, segment.num_morsels());
@@ -189,40 +220,48 @@ fn build_batch_stream_inner(
                 )));
             }
             let child = build_batch_stream_at(input, catalog, ctx, depth + 1)?;
-            if distinct {
-                // DISTINCT accumulators cannot spill; keep the row operator.
-                Box::new(RowToBatch::new(Box::new(HashAggregate::new(
-                    Box::new(BatchToRow::new(child)),
-                    group_by.clone(),
-                    aggs.clone(),
-                    ctx.clone(),
-                ))))
-            } else {
-                Box::new(BatchHashAggregate::new(
-                    child,
-                    group_by.clone(),
-                    aggs.clone(),
-                    ctx.clone(),
-                ))
-            }
-        }
-        Plan::Sort { input, keys } => Box::new(RowToBatch::new(Box::new(
-            sort::ExternalSort::new(
-                Box::new(BatchToRow::new(build_batch_stream_at(
-                    input,
-                    catalog,
-                    ctx,
-                    depth + 1,
-                )?)),
-                keys.clone(),
+            Box::new(BatchHashAggregate::new(
+                child,
+                group_by.clone(),
+                aggs.clone(),
                 ctx.clone(),
-            ),
-        ))),
-        Plan::Limit { input, limit, offset } => Box::new(BatchLimit {
-            input: build_batch_stream_at(input, catalog, ctx, depth + 1)?,
-            remaining: limit.unwrap_or(u64::MAX),
-            to_skip: *offset,
-        }),
+            ))
+        }
+        Plan::Sort { input, keys } => {
+            return vsort::build_sort_stream(input, keys, None, catalog, ctx, depth, slot);
+        }
+        Plan::Limit { input, limit, offset } => {
+            // `ORDER BY … LIMIT k`: a small k turns the sort into a top-k
+            // heap — the limit node stays (it applies the offset), but the
+            // sort below only ever retains k rows.
+            if let (Some(l), Plan::Sort { input: sort_input, keys }) =
+                (*limit, input.as_ref())
+            {
+                let k = l.saturating_add(*offset);
+                if k > 0 && k <= vsort::TOPK_MAX_ROWS as u64 {
+                    let sort_slot = instrument_slot(ctx, input, depth + 1);
+                    let sorted = vsort::build_sort_stream(
+                        sort_input,
+                        keys,
+                        Some(k as usize),
+                        catalog,
+                        ctx,
+                        depth + 1,
+                        sort_slot,
+                    )?;
+                    return Ok(Box::new(BatchLimit {
+                        input: instrument_wrap(sorted, sort_slot, ctx),
+                        remaining: l,
+                        to_skip: *offset,
+                    }));
+                }
+            }
+            Box::new(BatchLimit {
+                input: build_batch_stream_at(input, catalog, ctx, depth + 1)?,
+                remaining: limit.unwrap_or(u64::MAX),
+                to_skip: *offset,
+            })
+        }
         Plan::UnionAll { inputs } => {
             let streams = inputs
                 .iter()
@@ -258,10 +297,13 @@ impl BatchStream for InstrumentedBatch {
 }
 
 // ---------------------------------------------------------------------------
-// Adapter shims
+// Boundary adapters (pipeline edges only — no operator runs behind these)
 // ---------------------------------------------------------------------------
 
-/// Expose a [`BatchStream`] as a [`RowStream`] (feeds row-only operators).
+/// Expose a [`BatchStream`] as a [`RowStream`]. Since every operator now has
+/// a vectorized implementation, this survives only at the pipeline boundary:
+/// the result collector in [`crate::db`] materializes rows through it, and
+/// tests use it to compare paths.
 pub struct BatchToRow {
     input: Box<dyn BatchStream>,
     current: std::vec::IntoIter<Row>,
@@ -288,8 +330,8 @@ impl RowStream for BatchToRow {
     }
 }
 
-/// Expose a [`RowStream`] as a [`BatchStream`] (lifts row-only operators
-/// back into the batch pipeline).
+/// Expose a [`RowStream`] as a [`BatchStream`] (test harnesses feed literal
+/// row sets into batch operators through this; the planner never emits it).
 pub struct RowToBatch {
     input: Box<dyn RowStream>,
     done: bool,
@@ -500,6 +542,10 @@ enum KeyMap {
 /// it concurrently through a plain `Arc` (see [`super::parallel`]).
 pub(crate) struct JoinTable {
     build: RowBatch,
+    /// Width of the build side's schema. Carried explicitly because an empty
+    /// build produces a zero-column `RowBatch`, and outer-join null padding
+    /// must still widen unmatched probe rows by the full build arity.
+    build_cols: usize,
     table: KeyMap,
     left_keys: Vec<BoundExpr>,
     residual: Option<BoundExpr>,
@@ -575,9 +621,11 @@ impl JoinTableBuilder {
         self,
         left_keys: Vec<BoundExpr>,
         residual: Option<BoundExpr>,
+        build_cols: usize,
     ) -> JoinTable {
         JoinTable {
             build: RowBatch::from_owned_rows(self.kept),
+            build_cols,
             table: self.table,
             left_keys,
             residual,
@@ -593,6 +641,7 @@ impl JoinTable {
         left_keys: Vec<BoundExpr>,
         right_keys: Vec<BoundExpr>,
         residual: Option<BoundExpr>,
+        build_cols: usize,
         ctx: &ExecContext,
     ) -> Result<(JoinTable, Reservation)> {
         let mut builder = JoinTableBuilder::new(right_keys.len());
@@ -604,7 +653,7 @@ impl JoinTable {
                 .collect::<Result<Vec<_>>>()?;
             builder.insert_batch(&batch, &key_cols, &mut reservation, &ctx.budget)?;
         }
-        Ok((builder.finish(left_keys, residual), reservation))
+        Ok((builder.finish(left_keys, residual, build_cols), reservation))
     }
 
     /// Evaluate the probe-side key expressions over a probe batch.
@@ -635,8 +684,13 @@ impl JoinTable {
     /// Probe one whole batch, emitting joined batches bounded near
     /// [`BATCH_SIZE`] pairs each (the morsel workers' probe entry point —
     /// same pair order and batch boundaries as the streaming operator).
-    pub(crate) fn probe_batch(&self, batch: &RowBatch) -> Result<Vec<RowBatch>> {
+    /// With `outer` set, probe rows that never produce a residual-passing
+    /// pair are appended as one null-padded batch — the left-outer match
+    /// bitmap lives entirely within the probe batch, which is what makes
+    /// outer probes safe to run morsel-parallel.
+    pub(crate) fn probe_batch(&self, batch: &RowBatch, outer: bool) -> Result<Vec<RowBatch>> {
         let key_cols = self.eval_probe_keys(batch)?;
+        let mut matched = vec![false; if outer { batch.num_rows() } else { 0 }];
         let mut out = Vec::new();
         let mut i = 0;
         while i < batch.num_rows() {
@@ -656,44 +710,88 @@ impl JoinTable {
             }
             let joined =
                 RowBatch::hstack(batch.gather(&probe_sel), self.build.gather(&build_sel));
-            if let Some(b) = self.apply_residual(joined)? {
-                out.push(b);
+            match self.residual_selection(&joined)? {
+                None => {
+                    if outer {
+                        for &p in &probe_sel {
+                            matched[p as usize] = true;
+                        }
+                    }
+                    out.push(joined);
+                }
+                Some(sel) => {
+                    if outer {
+                        for &j in &sel {
+                            matched[probe_sel[j as usize] as usize] = true;
+                        }
+                    }
+                    if sel.len() == joined.num_rows() {
+                        out.push(joined);
+                    } else if !sel.is_empty() {
+                        out.push(joined.gather(&sel));
+                    }
+                }
+            }
+        }
+        if outer {
+            let unmatched: Vec<u32> = (0..batch.num_rows() as u32)
+                .filter(|&p| !matched[p as usize])
+                .collect();
+            if !unmatched.is_empty() {
+                out.push(self.null_pad(batch, &unmatched));
             }
         }
         Ok(out)
     }
 
-    /// Filter a joined batch through the residual predicate, if any; `None`
-    /// when every row was rejected.
-    fn apply_residual(&self, joined: RowBatch) -> Result<Option<RowBatch>> {
+    /// Row indices of `joined` passing the residual predicate, or `None`
+    /// when there is no residual (every row passes).
+    fn residual_selection(&self, joined: &RowBatch) -> Result<Option<Vec<u32>>> {
         match &self.residual {
             Some(pred) => {
-                let mask = pred.eval_batch(&joined)?;
-                let sel = truthy_selection(&mask)?;
-                if sel.is_empty() {
-                    Ok(None)
-                } else if sel.len() == joined.num_rows() {
-                    Ok(Some(joined))
-                } else {
-                    Ok(Some(joined.gather(&sel)))
-                }
+                let mask = pred.eval_batch(joined)?;
+                Ok(Some(truthy_selection(&mask)?))
             }
-            None => Ok(Some(joined)),
+            None => Ok(None),
         }
+    }
+
+    /// The probe rows at `unmatched`, each widened with NULL for every build
+    /// column (left-outer non-match output).
+    fn null_pad(&self, probe: &RowBatch, unmatched: &[u32]) -> RowBatch {
+        let pad = RowBatch::from_columns(
+            (0..self.build_cols)
+                .map(|_| Column::splat(&Value::Null, unmatched.len()))
+                .collect(),
+        );
+        RowBatch::hstack(probe.gather(unmatched), pad)
     }
 }
 
-/// Hash join: builds on the right input, probes batch-at-a-time with the
-/// left. Inner equi-joins only; other shapes use the row operator.
+/// Hash join over equi-keys: builds on the right input, probes
+/// batch-at-a-time with the left. Covers inner and LEFT OUTER semantics
+/// (RIGHT OUTER arrives as a planner-rewritten left join); under an outer
+/// probe the operator keeps a per-probe-batch match bitmap and emits one
+/// null-padded batch of never-matched probe rows after each batch drains.
 struct BatchHashJoin {
     probe: Box<dyn BatchStream>,
     table: Arc<JoinTable>,
-    /// A probe batch still being drained (skewed keys can fan one probe
-    /// batch out into many output batches): the batch, its evaluated key
-    /// columns, and the next probe row to resume from.
-    pending: Option<(RowBatch, Vec<ColumnRef>, usize)>,
+    /// LEFT OUTER: unmatched probe rows survive, null-padded.
+    outer: bool,
+    pending: Option<PendingProbe>,
     /// Memory charges for the build table (freed when the join drops).
     _reservations: Vec<Reservation>,
+}
+
+/// A probe batch still being drained (skewed keys can fan one probe batch
+/// out into many output batches): the batch, its evaluated key columns, the
+/// next probe row to resume from, and — for outer joins — which probe rows
+/// have produced at least one residual-passing pair so far.
+struct PendingProbe {
+    batch: RowBatch,
+    key_cols: Vec<ColumnRef>,
+    next: usize,
+    matched: Vec<bool>,
 }
 
 impl BatchHashJoin {
@@ -701,8 +799,9 @@ impl BatchHashJoin {
         probe: Box<dyn BatchStream>,
         table: Arc<JoinTable>,
         reservations: Vec<Reservation>,
+        outer: bool,
     ) -> Self {
-        BatchHashJoin { probe, table, pending: None, _reservations: reservations }
+        BatchHashJoin { probe, table, outer, pending: None, _reservations: reservations }
     }
 }
 
@@ -710,25 +809,40 @@ impl BatchStream for BatchHashJoin {
     fn next_batch(&mut self) -> Result<Option<RowBatch>> {
         loop {
             // Get a probe batch: resume a partially drained one, else pull.
-            let (batch, key_cols, start) = match self.pending.take() {
+            let mut p = match self.pending.take() {
                 Some(p) => p,
                 None => match self.probe.next_batch()? {
                     Some(batch) => {
                         let key_cols = self.table.eval_probe_keys(&batch)?;
-                        (batch, key_cols, 0)
+                        let matched =
+                            vec![false; if self.outer { batch.num_rows() } else { 0 }];
+                        PendingProbe { batch, key_cols, next: 0, matched }
                     }
                     None => return Ok(None),
                 },
             };
+            // Fully scanned: under outer semantics the batch still owes its
+            // null-padded non-matches, emitted as one final batch.
+            if p.next >= p.batch.num_rows() {
+                if self.outer {
+                    let unmatched: Vec<u32> = (0..p.batch.num_rows() as u32)
+                        .filter(|&i| !p.matched[i as usize])
+                        .collect();
+                    if !unmatched.is_empty() {
+                        return Ok(Some(self.table.null_pad(&p.batch, &unmatched)));
+                    }
+                }
+                continue;
+            }
             // Selection vectors pairing probe rows with matching build rows.
             // Stop at ~BATCH_SIZE output pairs so a skewed many-to-many key
             // cannot make one output batch arbitrarily large; the probe
             // position is saved and resumed on the next call.
             let mut probe_sel: Vec<u32> = Vec::new();
             let mut build_sel: Vec<u32> = Vec::new();
-            let mut i = start;
-            while i < batch.num_rows() && probe_sel.len() < BATCH_SIZE {
-                if let Some(matches) = self.table.matches_of(&key_cols, i) {
+            let mut i = p.next;
+            while i < p.batch.num_rows() && probe_sel.len() < BATCH_SIZE {
+                if let Some(matches) = self.table.matches_of(&p.key_cols, i) {
                     for &b in matches {
                         probe_sel.push(i as u32);
                         build_sel.push(b);
@@ -736,26 +850,228 @@ impl BatchStream for BatchHashJoin {
                 }
                 i += 1;
             }
-            if i < batch.num_rows() {
+            p.next = i;
+            let out = if probe_sel.is_empty() {
+                None
+            } else {
                 let joined = RowBatch::hstack(
-                    batch.gather(&probe_sel),
+                    p.batch.gather(&probe_sel),
                     self.table.build.gather(&build_sel),
                 );
-                self.pending = Some((batch, key_cols, i));
-                if let Some(out) = self.table.apply_residual(joined)? {
-                    return Ok(Some(out));
+                match self.table.residual_selection(&joined)? {
+                    None => {
+                        if self.outer {
+                            for &pi in &probe_sel {
+                                p.matched[pi as usize] = true;
+                            }
+                        }
+                        Some(joined)
+                    }
+                    Some(sel) => {
+                        if self.outer {
+                            for &j in &sel {
+                                p.matched[probe_sel[j as usize] as usize] = true;
+                            }
+                        }
+                        if sel.len() == joined.num_rows() {
+                            Some(joined)
+                        } else if sel.is_empty() {
+                            None
+                        } else {
+                            Some(joined.gather(&sel))
+                        }
+                    }
                 }
-                continue;
+            };
+            // Keep the batch pending while rows remain to scan, or while an
+            // outer batch still owes its pad pass.
+            if p.next < p.batch.num_rows() || self.outer {
+                self.pending = Some(p);
             }
-            if probe_sel.is_empty() {
-                continue;
+            if let Some(b) = out {
+                return Ok(Some(b));
             }
-            let joined = RowBatch::hstack(
-                batch.gather(&probe_sel),
-                self.table.build.gather(&build_sel),
-            );
-            if let Some(out) = self.table.apply_residual(joined)? {
-                return Ok(Some(out));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized nested-loop join (cross, non-equi, outer non-equi)
+// ---------------------------------------------------------------------------
+
+/// Nested-loop join for the shapes the hash join cannot take: cross joins
+/// and non-equi `ON` conditions, inner or LEFT OUTER. The right side is
+/// materialized once as columnar blocks; for each probe row the condition is
+/// evaluated with the [`BoundExpr::eval_batch`] kernels over one whole block
+/// at a time (the probe row's values splatted across the block), so the
+/// predicate runs vectorized along the build dimension. Output accumulates
+/// columnar in a [`BatchBuilder`] and emits near-[`BATCH_SIZE`] batches.
+struct BatchNestedLoopJoin {
+    probe: Box<dyn BatchStream>,
+    /// The materialized right side, kept in its original batch blocks.
+    blocks: Vec<RowBatch>,
+    /// `None` for cross joins (every pair passes).
+    condition: Option<BoundExpr>,
+    /// LEFT OUTER: probe rows with no passing pair survive, null-padded.
+    outer: bool,
+    left_cols: usize,
+    right_cols: usize,
+    /// Probe batch being drained, resumable at *block* granularity so a
+    /// single probe row joining a large build side still emits bounded
+    /// batches: (batch, probe row, next build block, row matched so far).
+    pending: Option<(RowBatch, usize, usize, bool)>,
+    out: BatchBuilder,
+    done: bool,
+    /// Memory charge for the materialized right side.
+    _reservation: Reservation,
+}
+
+impl BatchNestedLoopJoin {
+    fn new(
+        probe: Box<dyn BatchStream>,
+        mut build: Box<dyn BatchStream>,
+        left_cols: usize,
+        right_cols: usize,
+        condition: Option<BoundExpr>,
+        outer: bool,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        // Materialize the build side under the shared budget, with the same
+        // bounded working-set floor as every other build phase (batch
+        // granularity: the batch that overflows the floor fails the build).
+        let mut blocks = Vec::new();
+        let mut reservation = Reservation::empty(&ctx.budget);
+        let mut overdraft_rows = 0usize;
+        while let Some(batch) = build.next_batch()? {
+            let bytes: usize = batch.columns().iter().map(|c| c.heap_bytes()).sum();
+            if !reservation.try_grow(bytes) {
+                overdraft_rows += batch.num_rows();
+                if overdraft_rows > BUILD_OVERDRAFT_ROWS {
+                    return Err(Error::OutOfMemory {
+                        requested: bytes,
+                        budget: ctx.budget.limit(),
+                    });
+                }
+            }
+            blocks.push(batch);
+        }
+        Ok(BatchNestedLoopJoin {
+            probe,
+            blocks,
+            condition,
+            outer,
+            left_cols,
+            right_cols,
+            pending: None,
+            out: BatchBuilder::new(left_cols + right_cols),
+            done: false,
+            _reservation: reservation,
+        })
+    }
+
+    /// Join probe row `i` of `batch` against build blocks starting at
+    /// `*block`, appending passing pairs (and the outer pad once all blocks
+    /// are done and none passed) to the output. Stops early — returning
+    /// `false` with `*block`/`*matched` positioned for resumption — once
+    /// the output builder reaches [`BATCH_SIZE`], so one probe row joining
+    /// a large build side cannot balloon a single output batch.
+    fn join_row(
+        &mut self,
+        batch: &RowBatch,
+        i: usize,
+        block: &mut usize,
+        matched: &mut bool,
+    ) -> Result<bool> {
+        let probe_vals: Vec<Value> =
+            (0..self.left_cols).map(|c| batch.column(c).value_at(i)).collect();
+        while *block < self.blocks.len() {
+            if self.out.num_rows() >= BATCH_SIZE {
+                return Ok(false);
+            }
+            let bi = *block;
+            *block += 1;
+            let n = self.blocks[bi].num_rows();
+            match &self.condition {
+                Some(cond) => {
+                    // Splat the probe row across the block and run the
+                    // batched kernels over the combined schema.
+                    let mut cols: Vec<ColumnRef> =
+                        Vec::with_capacity(self.left_cols + self.right_cols);
+                    for v in &probe_vals {
+                        cols.push(Arc::new(Column::splat(v, n)));
+                    }
+                    cols.extend(self.blocks[bi].columns().iter().cloned());
+                    let combined = RowBatch::from_shared(cols);
+                    let mask = cond.eval_batch(&combined)?;
+                    let sel = truthy_selection(&mask)?;
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    *matched = true;
+                    for (c, v) in probe_vals.iter().enumerate() {
+                        self.out.column_mut(c).push_n(v, sel.len());
+                    }
+                    for c in 0..self.right_cols {
+                        let gathered = self.blocks[bi].column(c).gather(&sel);
+                        self.out.column_mut(self.left_cols + c).extend_from(&gathered);
+                    }
+                    self.out.add_rows(sel.len());
+                }
+                None => {
+                    // Cross join: every pair passes, no gather needed.
+                    *matched = true;
+                    for (c, v) in probe_vals.iter().enumerate() {
+                        self.out.column_mut(c).push_n(v, n);
+                    }
+                    for c in 0..self.right_cols {
+                        let dst = self.out.column_mut(self.left_cols + c);
+                        dst.extend_from(self.blocks[bi].column(c));
+                    }
+                    self.out.add_rows(n);
+                }
+            }
+        }
+        if self.outer && !*matched {
+            for (c, v) in probe_vals.iter().enumerate() {
+                self.out.column_mut(c).push_n(v, 1);
+            }
+            for c in 0..self.right_cols {
+                self.out.column_mut(self.left_cols + c).push_n(&Value::Null, 1);
+            }
+            self.out.add_rows(1);
+        }
+        Ok(true)
+    }
+}
+
+impl BatchStream for BatchNestedLoopJoin {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            if self.out.num_rows() >= BATCH_SIZE || (self.done && !self.out.is_empty()) {
+                return Ok(Some(self.out.take()));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let (batch, mut row, mut block, mut matched) = match self.pending.take() {
+                Some(p) => p,
+                None => match self.probe.next_batch()? {
+                    Some(b) => (b, 0, 0, false),
+                    None => {
+                        self.done = true;
+                        continue;
+                    }
+                },
+            };
+            while row < batch.num_rows() && self.out.num_rows() < BATCH_SIZE {
+                if self.join_row(&batch, row, &mut block, &mut matched)? {
+                    row += 1;
+                    block = 0;
+                    matched = false;
+                }
+            }
+            if row < batch.num_rows() {
+                self.pending = Some((batch, row, block, matched));
             }
         }
     }
@@ -1029,15 +1345,15 @@ impl AggCore {
 }
 
 /// The vectorized aggregation operator. Same two-phase hybrid hash/grace
-/// scheme as the row [`HashAggregate`] — consume (spilling partial rows into
+/// scheme as the row `HashAggregate` — consume (spilling partial rows into
 /// `PARTITIONS` hash partitions under memory pressure), then merge each
 /// partition recursively — with batched input and expression evaluation.
 ///
-/// With a [`Segment`] input the consume phase runs morsel-parallel: every
+/// With a `Segment` input the consume phase runs morsel-parallel: every
 /// worker aggregates its morsels into a private table (spilling privately
 /// under pressure), and the coordinator merges the partial tables — and any
 /// per-worker spill partitions, matched up by partition index, which is
-/// sound because [`HashAggregate::partition_of`] is a deterministic salted
+/// sound because `HashAggregate::partition_of` is a deterministic salted
 /// hash — exactly as if they were one run.
 pub struct BatchHashAggregate {
     input: AggInput,
@@ -1302,7 +1618,6 @@ impl BatchHashAggregate {
     /// the budget re-partition one level deeper (depth-salted hash).
     fn merge_partition(&mut self, readers: Vec<SpillReader>, depth: u32) -> Result<()> {
         let core = Arc::clone(&self.core);
-        let arities: Vec<usize> = core.aggs.iter().map(Acc::partial_arity).collect();
         let k = core.group_by.len();
         let mut map: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
         let mut writers: Option<Vec<SpillWriter>> = None;
@@ -1316,9 +1631,8 @@ impl BatchHashAggregate {
                     .entry(keys)
                     .or_insert_with(|| (reps, core.aggs.iter().map(Acc::new).collect()));
                 let mut pos = k;
-                for (acc, &arity) in accs.iter_mut().zip(&arities) {
-                    acc.merge_partial(&row[pos..pos + arity])?;
-                    pos += arity;
+                for acc in accs.iter_mut() {
+                    acc.consume_partial(&row, &mut pos)?;
                 }
                 if is_new {
                     let est = row_bytes(&row) + 64 + 48 * core.aggs.len();
@@ -1454,8 +1768,8 @@ mod tests {
         ctx: &ExecContext,
     ) -> BatchHashJoin {
         let (table, reservation) =
-            JoinTable::build_from_stream(build, lk, rk, None, ctx).unwrap();
-        BatchHashJoin::new(probe, Arc::new(table), vec![reservation])
+            JoinTable::build_from_stream(build, lk, rk, None, 2, ctx).unwrap();
+        BatchHashJoin::new(probe, Arc::new(table), vec![reservation], false)
     }
 
     #[test]
@@ -1512,6 +1826,60 @@ mod tests {
             total += b.num_rows();
         }
         assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn nested_loop_cross_join_emits_bounded_batches() {
+        // A single probe row crossing a build side much larger than
+        // BATCH_SIZE must still emit bounded batches: join_row resumes at
+        // block granularity, so no batch exceeds BATCH_SIZE + one block.
+        let probe: Vec<Row> = (0..3).map(|i| vec![Value::Int(i)]).collect();
+        let build: Vec<Row> = (0..3000).map(|j| vec![Value::Int(j)]).collect();
+        let mut j = BatchNestedLoopJoin::new(
+            batches_of(probe),
+            batches_of(build),
+            1,
+            1,
+            None,
+            false,
+            &ctx(),
+        )
+        .unwrap();
+        let mut total = 0;
+        while let Some(b) = j.next_batch().unwrap() {
+            assert!(
+                b.num_rows() <= 2 * BATCH_SIZE,
+                "oversized nested-loop batch: {}",
+                b.num_rows()
+            );
+            total += b.num_rows();
+        }
+        assert_eq!(total, 9000);
+    }
+
+    #[test]
+    fn nested_loop_left_outer_pads_across_resume() {
+        // Outer pad decisions must survive block-granular resumption: the
+        // matching probe row fans out over >BATCH_SIZE pairs (forcing
+        // mid-row suspension), the other row matches nothing and pads.
+        let probe: Vec<Row> = vec![vec![Value::Int(1)], vec![Value::Int(-1)]];
+        let build: Vec<Row> = (0..2000).map(|j| vec![Value::Int(j)]).collect();
+        let cond = bin(col(0), BinaryOp::Gt, BoundExpr::Literal(Value::Int(-1)));
+        let j = BatchNestedLoopJoin::new(
+            batches_of(probe),
+            batches_of(build),
+            1,
+            1,
+            Some(cond),
+            true,
+            &ctx(),
+        )
+        .unwrap();
+        let out = drain_batches(Box::new(j));
+        assert_eq!(out.len(), 2001, "2000 pairs for row 1, one pad for row -1");
+        let pads: Vec<_> = out.iter().filter(|r| r[1].is_null()).collect();
+        assert_eq!(pads.len(), 1);
+        assert_eq!(pads[0][0], Value::Int(-1));
     }
 
     #[test]

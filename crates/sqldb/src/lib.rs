@@ -25,6 +25,7 @@ pub mod bigbits;
 pub mod catalog;
 pub mod db;
 pub mod error;
+#[warn(missing_docs)]
 pub mod exec;
 pub mod expr;
 pub mod lexer;

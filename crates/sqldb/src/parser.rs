@@ -390,6 +390,11 @@ impl Parser {
                     self.eat_kw("OUTER");
                     self.expect_kw("JOIN")?;
                     JoinKind::Left
+                } else if self.peek_kw("RIGHT") {
+                    self.advance();
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Right
                 } else if self.peek_kw("CROSS") {
                     self.advance();
                     self.expect_kw("JOIN")?;
@@ -797,7 +802,7 @@ impl Parser {
 fn is_clause_keyword(s: &str) -> bool {
     const KWS: &[&str] = &[
         "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT",
-        "CROSS", "ON", "UNION", "AS", "AND", "OR", "NOT", "ASC", "DESC", "SELECT", "WITH",
+        "RIGHT", "CROSS", "ON", "UNION", "AS", "AND", "OR", "NOT", "ASC", "DESC", "SELECT", "WITH",
         "VALUES", "SET", "BY", "IS", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
         "OUTER", "ALL",
     ];

@@ -313,6 +313,40 @@ fn plan_select(select: &Select, catalog: &Catalog, scope: &CteScope) -> Result<P
     };
     for join in &select.joins {
         let right = plan_table_ref(&join.table, catalog, scope)?;
+        if join.kind == JoinKind::Right {
+            // RIGHT JOIN ≡ LEFT JOIN with the inputs swapped, followed by a
+            // projection that restores the written column order. Rewriting
+            // here means neither executor needs a right-outer operator, and
+            // the batch hash join's left-outer machinery covers both
+            // directions.
+            let left_schema = plan.schema();
+            let right_schema = right.schema();
+            let (llen, rlen) = (left_schema.len(), right_schema.len());
+            // Bind the ON condition against the *swapped* input order; names
+            // resolve by qualifier, so indices land in the swapped layout.
+            let swapped_schema = right_schema.join(&left_schema);
+            let on = match &join.on {
+                Some(e) => Some(bind(e, &swapped_schema)?),
+                None => None,
+            };
+            let swapped = Plan::Join {
+                left: Box::new(right),
+                right: Box::new(plan),
+                kind: JoinKind::Left,
+                on,
+                schema: swapped_schema,
+            };
+            let exprs: Vec<BoundExpr> = (rlen..rlen + llen)
+                .chain(0..rlen)
+                .map(BoundExpr::Column)
+                .collect();
+            plan = Plan::Project {
+                input: Box::new(swapped),
+                exprs,
+                schema: left_schema.join(&right_schema),
+            };
+            continue;
+        }
         let schema = plan.schema().join(&right.schema());
         let on = match &join.on {
             Some(e) => Some(bind(e, &schema)?),

@@ -108,11 +108,63 @@ fn join_equivalence() {
             "SELECT facts.s, dims.w FROM facts JOIN dims \
              ON dims.k = facts.k AND facts.v > dims.w",
         );
-        // Left join (row fallback behind the adapters on the batch path).
+        // Left outer equi-join (vectorized hash join with match bitmap).
         assert_equivalent(
             seed,
             "SELECT facts.k, dims.out_s FROM facts LEFT JOIN dims ON dims.k = facts.k",
         );
+        // Left outer with a residual predicate: pads appear only when no
+        // pair passes the full ON condition.
+        assert_equivalent(
+            seed,
+            "SELECT facts.k, facts.v, dims.w FROM facts LEFT JOIN dims \
+             ON dims.k = facts.k AND dims.w > facts.v",
+        );
+        // Right outer join (planner-rewritten into a swapped left join).
+        assert_equivalent(
+            seed,
+            "SELECT facts.k, facts.s, dims.k, dims.out_s FROM facts \
+             RIGHT JOIN dims ON dims.k = facts.k AND facts.s < 100",
+        );
+        // Cross join (vectorized nested loop, no condition).
+        assert_equivalent(
+            seed,
+            "SELECT facts.s, dims.out_s FROM facts CROSS JOIN dims WHERE facts.k = 7",
+        );
+        // Non-equi condition (vectorized nested loop with batched predicate).
+        assert_equivalent(
+            seed,
+            "SELECT facts.k, dims.k FROM facts JOIN dims ON facts.k < dims.k - 40",
+        );
+        // Non-equi LEFT OUTER (nested loop with pads).
+        assert_equivalent(
+            seed,
+            "SELECT facts.k, dims.k, dims.w FROM facts LEFT JOIN dims \
+             ON facts.k < dims.k - 40",
+        );
+    }
+}
+
+/// RIGHT JOIN semantics on explicit data: every build-side row is preserved,
+/// unmatched ones padded with NULLs on the left, written column order kept.
+#[test]
+fn right_join_semantics() {
+    for path in [ExecPath::Batch, ExecPath::Row] {
+        let mut db = Database::new();
+        db.set_exec_path(path);
+        db.execute("CREATE TABLE l (a INTEGER, b INTEGER)").unwrap();
+        db.execute("INSERT INTO l VALUES (1, 10), (2, 20), (2, 21)").unwrap();
+        db.execute("CREATE TABLE r (c INTEGER, d INTEGER)").unwrap();
+        db.execute("INSERT INTO r VALUES (2, 200), (3, 300)").unwrap();
+        let rs = db
+            .execute("SELECT l.a, l.b, r.c, r.d FROM l RIGHT JOIN r ON r.c = l.a ORDER BY r.c, l.b")
+            .unwrap();
+        assert_eq!(rs.columns(), &["a", "b", "c", "d"], "{path:?}");
+        let rows = rs.rows();
+        assert_eq!(rows.len(), 3, "{path:?}: two matches for c=2, one pad for c=3");
+        assert_eq!(rows[0], vec![Value::Int(2), Value::Int(20), Value::Int(2), Value::Int(200)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(21), Value::Int(2), Value::Int(200)]);
+        assert_eq!(rows[2], vec![Value::Null, Value::Null, Value::Int(3), Value::Int(300)]);
     }
 }
 
@@ -130,12 +182,101 @@ fn aggregate_equivalence() {
             "SELECT k, COUNT(*) AS n, COUNT(v) AS nv, MIN(v) AS lo, MAX(v) AS hi, \
              AVG(v) AS mean FROM facts GROUP BY k",
         );
-        // DISTINCT aggregate (row-operator fallback on the batch path).
+        // DISTINCT aggregates (vectorized, spillable distinct sets).
         assert_equivalent(seed, "SELECT k, COUNT(DISTINCT s) AS ns FROM facts GROUP BY k");
+        assert_equivalent(
+            seed,
+            "SELECT k, SUM(DISTINCT v) AS sv, COUNT(DISTINCT s) AS ns, COUNT(*) AS n \
+             FROM facts GROUP BY k",
+        );
         // Global aggregate.
         assert_equivalent(seed, "SELECT SUM(v) AS t, COUNT(*) AS n FROM facts");
         assert_equivalent(seed, "SELECT DISTINCT k FROM facts");
     }
+}
+
+/// `ORDER BY` equivalence: multi-key, NULL keys, DESC, LIMIT/OFFSET. The
+/// projections carry every sort key, so tied rows are fully identical and
+/// exact (order-sensitive) comparison is well-defined on both paths.
+#[test]
+fn order_by_equivalence() {
+    let shapes = [
+        "SELECT v, k, s FROM facts ORDER BY v, k, s",
+        "SELECT v, k, s FROM facts ORDER BY v DESC, k ASC, s DESC",
+        "SELECT v, k, s FROM facts WHERE k > 10 ORDER BY v, k, s LIMIT 100",
+        "SELECT v, k, s FROM facts ORDER BY v DESC, k, s LIMIT 50 OFFSET 37",
+        "SELECT k + 1 AS k1, s & 7 AS lo, v FROM facts ORDER BY lo, v DESC, k1",
+    ];
+    for seed in 0..3 {
+        let (mut batch, mut row) = rand_pair(seed, 2000);
+        for sql in shapes {
+            let b = batch.execute(sql).unwrap_or_else(|e| panic!("batch: {e}\n{sql}"));
+            let r = row.execute(sql).unwrap_or_else(|e| panic!("row: {e}\n{sql}"));
+            assert_eq!(b.rows(), r.rows(), "exact order must agree: {sql}");
+        }
+    }
+}
+
+/// Forced-spill `ORDER BY`: the vectorized sort must write runs and merge
+/// them back into exactly the in-memory order.
+#[test]
+fn order_by_spill_equivalence() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let data: Vec<Vec<Value>> = (0..60_000)
+        .map(|_| {
+            vec![
+                Value::Int(rng.gen_range(0i64..1_000_000)),
+                Value::Float(rng.gen_range(-100i64..100) as f64 / 8.0),
+            ]
+        })
+        .collect();
+    let run = |path: ExecPath| {
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
+        db.set_exec_path(path);
+        db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
+        db.insert_rows("big", data.clone()).unwrap();
+        let rs = db.execute("SELECT k, v FROM big ORDER BY v DESC, k").unwrap();
+        assert!(db.stats().spill_files > 0, "{path:?} expected the sort to spill");
+        rs.into_rows()
+    };
+    assert_eq!(run(ExecPath::Batch), run(ExecPath::Row));
+}
+
+/// Forced-spill DISTINCT aggregation: distinct sets travel through the
+/// partition spill format on both paths (this shape errored out before the
+/// sets became spillable).
+#[test]
+fn distinct_spill_equivalence() {
+    let data: Vec<Vec<Value>> = (0..60_000)
+        .map(|i| {
+            vec![
+                Value::Int(i % 6000),
+                Value::Int((i / 6000) % 7),
+                Value::Float(((i / 6000) % 5) as f64),
+            ]
+        })
+        .collect();
+    let run = |path: ExecPath, parallelism: usize| {
+        let mut db = Database::with_memory_limit(2 * 1024 * 1024);
+        db.set_exec_path(path);
+        db.set_parallelism(parallelism);
+        db.execute("CREATE TABLE big (k INTEGER, s INTEGER, v DOUBLE)").unwrap();
+        db.insert_rows("big", data.clone()).unwrap();
+        let rs = db
+            .execute(
+                "SELECT k, COUNT(DISTINCT s) AS ns, SUM(DISTINCT v) AS sv, COUNT(*) AS n \
+                 FROM big GROUP BY k ORDER BY k",
+            )
+            .unwrap();
+        assert!(db.stats().spill_files > 0, "{path:?}/{parallelism} expected to spill");
+        rs.into_rows()
+    };
+    let baseline = run(ExecPath::Row, 1);
+    assert_eq!(baseline.len(), 6000);
+    assert_eq!(baseline[0][1], Value::Int(7), "7 distinct s per group");
+    assert_eq!(baseline[0][2], Value::Float(10.0), "0+1+2+3+4 distinct v");
+    assert_eq!(run(ExecPath::Batch, 1), baseline);
+    assert_eq!(run(ExecPath::Batch, 4), baseline);
 }
 
 #[test]
@@ -267,6 +408,14 @@ fn three_way_equivalence_across_worker_counts() {
          JOIN dims ON dims.k = (facts.s & 1) \
          GROUP BY ((facts.s & ~1) | dims.out_s)) \
          SELECT s, r FROM T1 ORDER BY s LIMIT 100",
+        // Parallel sort (per-worker runs merged at the breaker), full + topk.
+        "SELECT v, k, s FROM facts ORDER BY v DESC, k, s",
+        "SELECT v, k, s FROM facts WHERE (s & 3) = 1 ORDER BY v, k, s LIMIT 64",
+        // Parallel LEFT OUTER probe (pads are morsel-local).
+        "SELECT facts.k, facts.s, dims.out_s FROM facts \
+         LEFT JOIN dims ON dims.k = (facts.k & 63) AND dims.w > 5.0",
+        // Parallel DISTINCT aggregation (per-worker sets merged by union).
+        "SELECT k, COUNT(DISTINCT s) AS ns, SUM(DISTINCT v) AS sv FROM facts GROUP BY k",
     ];
     for seed in 0..2 {
         let mut row = rand_db(seed, 5000, ExecPath::Row, 1);
@@ -402,6 +551,93 @@ fn parallel_float_sums_reproducible_at_fixed_worker_count() {
     for _ in 0..3 {
         assert_eq!(first, run(), "same worker count must reproduce bit-for-bit");
     }
+}
+
+/// `SUM(DISTINCT)` over non-representable floats must be bit-identical
+/// across runs, execution paths, and worker counts: the distinct set folds
+/// in total order, never in (per-instance-seeded) hash order.
+#[test]
+fn sum_distinct_floats_deterministic() {
+    let run = |path: ExecPath, parallelism: usize| {
+        let mut db = Database::new();
+        db.set_exec_path(path);
+        db.set_parallelism(parallelism);
+        db.execute("CREATE TABLE t (k INTEGER, v DOUBLE)").unwrap();
+        // 0.1 + 0.2 + … is order-sensitive in the last ulp.
+        let rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| vec![Value::Int(i % 3), Value::Float(((i % 40) as f64) / 10.0)])
+            .collect();
+        db.insert_rows("t", rows).unwrap();
+        db.execute("SELECT k, SUM(DISTINCT v) AS sv, AVG(DISTINCT v) AS av FROM t GROUP BY k ORDER BY k")
+            .unwrap()
+            .into_rows()
+    };
+    let baseline = run(ExecPath::Row, 1);
+    for _ in 0..3 {
+        assert_eq!(baseline, run(ExecPath::Row, 1), "row path run-to-run");
+        assert_eq!(baseline, run(ExecPath::Batch, 1), "batch path");
+        assert_eq!(baseline, run(ExecPath::Batch, 4), "parallel batch path");
+    }
+}
+
+/// Order-sensitive parallel sort: the merged per-worker runs must reproduce
+/// the sequential sort byte-for-byte (ordinal tie-break), at every worker
+/// count, including under forced spilling.
+#[test]
+fn parallel_sort_is_byte_identical_to_sequential() {
+    let sql = "SELECT v, k, s FROM facts ORDER BY v DESC, k, s";
+    let mut seq = rand_db(17, 5000, ExecPath::Batch, 1);
+    let expect = seq.execute(sql).unwrap();
+    for workers in [2usize, 4, 8] {
+        let mut par = rand_db(17, 5000, ExecPath::Batch, workers);
+        let got = par.execute(sql).unwrap();
+        assert_eq!(expect.rows(), got.rows(), "{workers} workers broke sort order");
+    }
+}
+
+/// Every previously row-fallback shape now reports a physical batch
+/// operator (with `batches=` counters) in `EXPLAIN ANALYZE` — no plan
+/// routes through a row-operator shim anymore.
+#[test]
+fn explain_analyze_shows_batch_operators_for_all_shapes() {
+    let mut db = rand_db(23, 5000, ExecPath::Batch, 1);
+    let sort = db.execute("EXPLAIN SELECT v FROM facts ORDER BY v").unwrap();
+    assert!(!sort.rows().is_empty());
+
+    let text = db.explain_analyze("SELECT v, k FROM facts ORDER BY v, k").unwrap();
+    assert!(text.contains("BatchSort [2 keys]"), "{text}");
+    assert!(text.contains("batches="), "{text}");
+
+    let text = db
+        .explain_analyze("SELECT v, k FROM facts ORDER BY v, k LIMIT 5")
+        .unwrap();
+    assert!(text.contains("TopKSort [2 keys, k=5]"), "{text}");
+
+    let text = db
+        .explain_analyze("SELECT facts.k FROM facts LEFT JOIN dims ON dims.k = facts.k")
+        .unwrap();
+    assert!(text.contains("HashJoin Left"), "{text}");
+
+    let text = db
+        .explain_analyze("SELECT facts.k FROM facts CROSS JOIN dims LIMIT 10")
+        .unwrap();
+    assert!(text.contains("NestedLoopJoin Cross"), "{text}");
+
+    let text = db
+        .explain_analyze("SELECT facts.k FROM facts JOIN dims ON facts.k < dims.k")
+        .unwrap();
+    assert!(text.contains("NestedLoopJoin Inner"), "{text}");
+
+    let text = db
+        .explain_analyze("SELECT k, COUNT(DISTINCT s) FROM facts GROUP BY k")
+        .unwrap();
+    assert!(text.contains("HashAggregate"), "{text}");
+
+    // The row path keeps logical labels and reports no batch counters.
+    db.set_exec_path(ExecPath::Row);
+    let text = db.explain_analyze("SELECT v, k FROM facts ORDER BY v, k").unwrap();
+    assert!(text.contains("Sort [2]"), "{text}");
+    assert!(!text.contains("batches="), "{text}");
 }
 
 /// The knob clamps to at least one worker and reads back.

@@ -47,6 +47,25 @@ pub fn support_size_query(table: &str) -> String {
     format!("SELECT COUNT(*) AS nonzeros FROM {table}")
 }
 
+/// Number of distinct configurations the masked qubits take across the
+/// support: `COUNT(DISTINCT s & mask)`. A quick entanglement/locality probe
+/// — a product state over the masked qubits shows exactly one configuration
+/// per branch of the rest.
+pub fn mask_support_query(table: &str, mask: u64) -> String {
+    format!("SELECT COUNT(DISTINCT (s & {mask})) AS configs FROM {table}")
+}
+
+/// Per-basis-state comparison of two state tables (debugging / fidelity
+/// inspection): every basis state of `a` with `b`'s amplitude beside it,
+/// NULL-padded where `b` has no such state. States present only in `b` can
+/// be listed by swapping the arguments.
+pub fn state_diff_query(a: &str, b: &str) -> String {
+    format!(
+        "SELECT {a}.s AS s, {a}.r AS ar, {a}.i AS ai, {b}.r AS br, {b}.i AS bi \
+         FROM {a} LEFT JOIN {b} ON {b}.s = {a}.s ORDER BY {a}.s"
+    )
+}
+
 fn bit_expr(table: &str, qubit: usize) -> String {
     if qubit == 0 {
         format!("CAST(({table}.s & 1) AS INTEGER)")
@@ -79,9 +98,37 @@ mod tests {
             expectation_z_query("T", 0),
             pattern_probability_query("T", 3, 1),
             support_size_query("T"),
+            mask_support_query("T", 5),
+            state_diff_query("T", "U"),
         ] {
             parser::parse_statement(&sql).unwrap_or_else(|e| panic!("{e}: {sql}"));
         }
+    }
+
+    #[test]
+    fn mask_support_counts_distinct_configs() {
+        let mut db = ghz_state_db();
+        // GHZ support {|000⟩, |111⟩}: qubit 0 takes two configurations, and
+        // adding a state that repeats s&1 = 1 must not raise the count.
+        db.execute("INSERT INTO T VALUES (5, 0.1, 0.0)").unwrap();
+        let n = db.execute(&mask_support_query("T", 1)).unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(2)));
+        let n = db.execute(&mask_support_query("T", 7)).unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn state_diff_pads_missing_states() {
+        let mut db = ghz_state_db();
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        db.execute("CREATE TABLE U (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        db.execute(&format!("INSERT INTO U VALUES (0, {a}, 0.0)")).unwrap();
+        let rs = db.execute(&state_diff_query("T", "U")).unwrap();
+        assert_eq!(rs.rows().len(), 2, "one row per state of T");
+        assert_eq!(rs.rows()[0][0], Value::Int(0));
+        assert!(!rs.rows()[0][3].is_null(), "|000⟩ exists in both");
+        assert_eq!(rs.rows()[1][0], Value::Int(7));
+        assert!(rs.rows()[1][3].is_null(), "|111⟩ missing from U → NULL pad");
     }
 
     #[test]
