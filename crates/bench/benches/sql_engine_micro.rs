@@ -258,5 +258,68 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_sort_and_outer_join, bench_scan);
+/// WAL overhead on the mutation path: the same 1024-row insert against an
+/// in-memory database, a durable one with per-commit fsync (the default),
+/// and a durable one with fsync off (isolating serialization + the write
+/// syscall from the disk flush). Reads are identical on every variant —
+/// durability wraps mutations only — so an insert micro is the honest
+/// worst case.
+fn bench_wal_overhead(c: &mut Criterion) {
+    use qymera_sqldb::{DurabilityOptions, FsyncPolicy};
+
+    let mut group = c.benchmark_group("sql_engine_micro");
+    group.sample_size(20);
+
+    let rows: Vec<Row> = (0..1024)
+        .map(|s| vec![Value::Int(s), Value::Float(0.0078125), Value::Float(0.0)])
+        .collect();
+    let setup_mem = || {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        db
+    };
+    let setup_wal = |tag: &str, fsync: FsyncPolicy| {
+        let dir = std::env::temp_dir()
+            .join(format!("qymera-bench-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // No auto-checkpoint: the micro measures the log append + fsync,
+        // not a periodic full-table serialization.
+        let opts = DurabilityOptions {
+            fsync,
+            checkpoint_every_bytes: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut db = Database::open_with(&dir, opts).unwrap();
+        db.execute("CREATE TABLE T0 (s INTEGER, r DOUBLE, i DOUBLE)").unwrap();
+        db
+    };
+
+    let mut mem_db = setup_mem();
+    group.bench_function("insert_1k_rows_inmemory", |b| {
+        b.iter(|| std::hint::black_box(mem_db.insert_rows("T0", rows.clone()).unwrap()))
+    });
+    let mut wal_db = setup_wal("commit", FsyncPolicy::Commit);
+    group.bench_function("insert_1k_rows_wal_fsync_commit", |b| {
+        b.iter(|| std::hint::black_box(wal_db.insert_rows("T0", rows.clone()).unwrap()))
+    });
+    let mut nosync_db = setup_wal("off", FsyncPolicy::Off);
+    group.bench_function("insert_1k_rows_wal_fsync_off", |b| {
+        b.iter(|| std::hint::black_box(nosync_db.insert_rows("T0", rows.clone()).unwrap()))
+    });
+
+    for db in [&wal_db, &nosync_db] {
+        let dir = db.storage_dir().unwrap().to_path_buf();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_sort_and_outer_join,
+    bench_scan,
+    bench_wal_overhead
+);
 criterion_main!(benches);

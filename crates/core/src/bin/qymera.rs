@@ -51,6 +51,8 @@ fn usage() -> &'static str {
        --memory BYTES   memory budget for the simulation\n\
        --parallel N     SQL-engine worker threads (default: host cores;\n\
                         1 = fully sequential execution)\n\
+       --db DIR         persist the SQL engine's state in DIR (write-ahead\n\
+                        logged, crash-recoverable; default: in-memory)\n\
        --shots N        samples for the `sample` command (default 1024)\n\
        --top K          state rows to print (default 16)"
 }
@@ -77,7 +79,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(v) => Some(v.parse().map_err(|_| format!("bad --parallel value `{v}`"))?),
         None => None,
     };
-    let sql_config = SqlSimConfig { parallelism: parallel, ..Default::default() };
+    let db_path = opt(args, "--db").map(std::path::PathBuf::from);
+    let sql_config = SqlSimConfig { parallelism: parallel, db_path, ..Default::default() };
     let sql_sim = SqlSimulator::new(sql_config.clone());
 
     match command.as_str() {

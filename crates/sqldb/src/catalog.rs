@@ -23,17 +23,20 @@ impl Catalog {
         Catalog { tables: HashMap::new() }
     }
 
+    /// Create a table. Returns `true` if a table was actually created,
+    /// `false` for an `IF NOT EXISTS` no-op — the WAL only logs statements
+    /// that changed something.
     pub fn create_table(
         &mut self,
         name: &str,
         columns: Vec<(String, DataType)>,
         if_not_exists: bool,
         budget: MemoryBudget,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) {
             if if_not_exists {
-                return Ok(());
+                return Ok(false);
             }
             return Err(Error::Catalog(format!("table `{name}` already exists")));
         }
@@ -47,18 +50,27 @@ impl Catalog {
             return Err(Error::Catalog(format!("table `{name}` must have at least one column")));
         }
         self.tables.insert(key, Table::new(name, columns, budget));
-        Ok(())
+        Ok(true)
     }
 
-    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+    /// Drop a table, returning it (`None` for an `IF EXISTS` no-op).
+    /// Letting the returned [`Table`] drop frees its budget charge (RAII
+    /// reservation) even while snapshots keep the chunk data alive; the
+    /// durable path instead keeps it alive until the WAL record commits so
+    /// a failed commit can restore it via [`Catalog::put_table`].
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<Option<Table>> {
         let key = name.to_ascii_lowercase();
         match self.tables.remove(&key) {
-            // Dropping the table frees its budget charge (RAII reservation)
-            // even while snapshots keep the chunk data alive.
-            Some(_) => Ok(()),
-            None if if_exists => Ok(()),
+            Some(t) => Ok(Some(t)),
+            None if if_exists => Ok(None),
             None => Err(Error::Catalog(format!("no such table `{name}`"))),
         }
+    }
+
+    /// Re-insert a table previously removed with [`Catalog::drop_table`]
+    /// (WAL rollback) or recovered from a checkpoint.
+    pub fn put_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
     }
 
     pub fn get(&self, name: &str) -> Result<&Table> {
@@ -80,6 +92,14 @@ impl Catalog {
     /// Table names in arbitrary order (original casing).
     pub fn table_names(&self) -> Vec<String> {
         self.tables.values().map(|t| t.name().to_string()).collect()
+    }
+
+    /// All tables sorted by name — checkpoints iterate this so the bytes
+    /// they write are deterministic despite the hash map underneath.
+    pub fn tables_sorted(&self) -> Vec<&Table> {
+        let mut ts: Vec<&Table> = self.tables.values().collect();
+        ts.sort_by(|a, b| a.name().cmp(b.name()));
+        ts
     }
 
     /// Total bytes of base-table storage held against the budget.

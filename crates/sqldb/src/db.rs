@@ -10,9 +10,10 @@
 //! assert_eq!(rs.rows().len(), 1);
 //! ```
 
+use std::path::Path;
 use std::sync::Arc;
 
-use crate::ast::{DataType, Statement};
+use crate::ast::{DataType, Expr, Statement};
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::exec::vector::{build_batch_stream, BatchToRow};
@@ -23,7 +24,11 @@ use crate::plan::logical::{plan_query, Plan};
 use crate::plan::optimizer::optimize;
 use crate::schema::RelSchema;
 use crate::storage::budget::MemoryBudget;
+use crate::storage::fault::FaultInjector;
 use crate::storage::spill::{Row, SpillDir};
+use crate::storage::wal::{
+    DurableStore, FsyncPolicy, Recovered, WalOp, DEFAULT_CHECKPOINT_BYTES,
+};
 use crate::value::Value;
 
 /// Plans deeper than this run their pull pipeline on a dedicated thread with
@@ -47,6 +52,10 @@ fn with_exec_stack<T: Send>(depth: usize, f: impl FnOnce() -> T + Send) -> T {
         std::thread::Builder::new()
             .name("qymera-exec".into())
             .stack_size(EXEC_STACK_BYTES)
+            // SAFETY of expect: spawn only fails when the OS refuses a new
+            // thread (resource exhaustion); with no thread to run on there is
+            // no way to make progress, so aborting loudly beats limping on
+            // the shallow stack and overflowing mid-pipeline.
             .spawn_scoped(s, f)
             .expect("cannot spawn execution thread")
             .join()
@@ -165,6 +174,37 @@ pub struct Database {
     parallelism: usize,
     statements: u64,
     rows_returned: u64,
+    /// WAL + checkpoint store when opened with [`Database::open`];
+    /// `None` for in-memory databases (the default and fast path).
+    durable: Option<DurableStore>,
+    /// Fault-injection gate shared by every disk path (WAL, checkpoint,
+    /// spill). A zero-cost passthrough in release builds.
+    injector: Arc<FaultInjector>,
+}
+
+/// Configuration for [`Database::open_with`].
+pub struct DurabilityOptions {
+    /// When WAL bytes are forced to stable storage (default: the
+    /// `QYMERA_FSYNC` environment knob, falling back to per-commit).
+    pub fsync: FsyncPolicy,
+    /// Auto-checkpoint once the WAL exceeds this many bytes (0 = never).
+    pub checkpoint_every_bytes: u64,
+    /// Memory ledger shared by tables and operators.
+    pub budget: MemoryBudget,
+    /// Fault-injection gate for every disk path (tests arm schedules on
+    /// it; production passes the default quiescent injector).
+    pub injector: Arc<FaultInjector>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::from_env(),
+            checkpoint_every_bytes: DEFAULT_CHECKPOINT_BYTES,
+            budget: MemoryBudget::unlimited(),
+            injector: FaultInjector::none(),
+        }
+    }
 }
 
 /// Worker threads a fresh [`Database`] allows the batch executor: the
@@ -199,15 +239,158 @@ impl Database {
 
     /// Database over an externally shared [`MemoryBudget`].
     pub fn with_budget(budget: MemoryBudget) -> Self {
+        let injector = FaultInjector::none();
         Database {
             catalog: Catalog::new(),
             budget,
-            spill: SpillDir::new().expect("cannot create spill directory"),
+            spill: SpillDir::new_with(Arc::clone(&injector))
+                .expect("cannot create spill directory"),
             path: ExecPath::default(),
             parallelism: default_parallelism(),
             statements: 0,
             rows_returned: 0,
+            durable: None,
+            injector,
         }
+    }
+
+    /// Open (or create) a **durable** database rooted at `dir`: every
+    /// mutation is written ahead to a checksummed log and survives a
+    /// crash; reopening recovers the last checkpoint plus the committed
+    /// WAL prefix, tolerating a torn tail. Query execution is identical to
+    /// an in-memory database.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit [`DurabilityOptions`].
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Self> {
+        let injector = opts.injector;
+        let (mut store, recovered) =
+            DurableStore::open(dir.as_ref(), opts.fsync, Arc::clone(&injector))?;
+        store.checkpoint_every_bytes = opts.checkpoint_every_bytes;
+        let mut db = Database {
+            catalog: Catalog::new(),
+            budget: opts.budget,
+            spill: SpillDir::new_with(Arc::clone(&injector))?,
+            path: ExecPath::default(),
+            parallelism: default_parallelism(),
+            statements: 0,
+            rows_returned: 0,
+            durable: None,
+            injector,
+        };
+        db.apply_recovered(recovered)?;
+        db.durable = Some(store);
+        Ok(db)
+    }
+
+    /// Rebuild in-memory state from a recovered checkpoint and committed
+    /// WAL frames. Runs before the store is attached, so replay applies to
+    /// memory only and is never re-logged.
+    fn apply_recovered(&mut self, recovered: Recovered) -> Result<()> {
+        if let Some((_, tables)) = recovered.checkpoint {
+            for t in tables {
+                self.catalog.create_table(&t.name, t.columns, false, self.budget.clone())?;
+                self.catalog.get_mut(&t.name)?.load_rows(t.rows)?;
+            }
+        }
+        for frame in recovered.frames {
+            for op in frame.ops {
+                self.apply_wal_op(op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one recovered WAL operation to the in-memory catalog.
+    fn apply_wal_op(&mut self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::CreateTable { name, columns } => {
+                self.catalog.create_table(&name, columns, false, self.budget.clone())?;
+            }
+            WalOp::DropTable { name } => {
+                self.catalog.drop_table(&name, false)?;
+            }
+            WalOp::Insert { table, rows } => {
+                self.catalog.get_mut(&table)?.load_rows(rows)?;
+            }
+            WalOp::Delete { table, predicate } => {
+                // Predicates are logged as SQL text; expressions are pure,
+                // so re-parsing and re-evaluating replays deterministically.
+                let where_clause = match predicate {
+                    None => None,
+                    Some(text) => {
+                        let sql = format!("DELETE FROM {table} WHERE {text}");
+                        match parse_statement(&sql)? {
+                            Statement::Delete { where_clause, .. } => where_clause,
+                            _ => {
+                                return Err(Error::Internal(
+                                    "logged DELETE predicate did not re-parse".into(),
+                                ))
+                            }
+                        }
+                    }
+                };
+                self.run_delete(&table, where_clause.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The database directory when opened with [`Database::open`].
+    pub fn storage_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(DurableStore::dir)
+    }
+
+    /// The fault-injection gate shared by this database's disk paths
+    /// (spill, and WAL/checkpoint when durable). Quiescent unless a test
+    /// arms it; all methods are no-ops in release builds.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// Serialize all tables into a new checkpoint image and truncate the
+    /// WAL behind it. Errors with [`Error::Unsupported`] on an in-memory
+    /// database.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(store) = self.durable.as_mut() else {
+            return Err(Error::Unsupported(
+                "checkpoint requires a database opened with a path".into(),
+            ));
+        };
+        store.checkpoint(&self.catalog.tables_sorted())
+    }
+
+    /// Auto-checkpoint after a committed mutation once the WAL is large.
+    /// Failures are swallowed: the statement already committed, the WAL
+    /// still covers everything, and the next trigger will retry.
+    fn maybe_auto_checkpoint(&mut self) {
+        if let Some(store) = self.durable.as_mut() {
+            if store.wants_checkpoint() {
+                let _ = store.checkpoint(&self.catalog.tables_sorted());
+            }
+        }
+    }
+
+    /// Debug builds: after any failed statement, the memory ledger must
+    /// hold exactly the live base tables (no leaked operator or rollback
+    /// residue) and the spill directory must be empty. Assumes the budget
+    /// is not shared with reservations outside this database (true for
+    /// every constructor here).
+    #[cfg(debug_assertions)]
+    fn assert_ledger_clean(&self) {
+        let used = self.budget.used();
+        let tables = self.catalog.total_bytes();
+        debug_assert!(
+            used == tables,
+            "memory ledger leak after error: used {used} != base tables {tables}"
+        );
+        debug_assert_eq!(
+            self.spill.live_files(),
+            0,
+            "orphan spill files after error"
+        );
     }
 
     /// Select the physical execution path for subsequent queries
@@ -237,6 +420,19 @@ impl Database {
     /// The shared memory ledger charged by tables and operators.
     pub fn budget(&self) -> &MemoryBudget {
         &self.budget
+    }
+
+    /// Bytes currently charged for base-table storage. Whenever no statement
+    /// is executing this must equal [`Database::budget`]`.used()` — any gap
+    /// is operator residue leaked into the ledger.
+    pub fn table_bytes(&self) -> usize {
+        self.catalog.total_bytes()
+    }
+
+    /// Spill files currently live on disk. Zero between statements; anything
+    /// else after a statement returns (even with an error) is a leak.
+    pub fn live_spill_files(&self) -> usize {
+        self.spill.live_files()
     }
 
     pub fn stats(&self) -> DbStats {
@@ -337,33 +533,171 @@ impl Database {
         Ok(last)
     }
 
-    /// Execute an already-parsed statement.
+    /// Execute an already-parsed statement. In a durable database every
+    /// mutation is framed in the write-ahead log: `Ok` means the statement
+    /// is both applied and crash-durable (per the fsync policy); `Err`
+    /// means it is fully absent — in memory *and* on disk — even when the
+    /// failure happened after the in-memory apply (the apply is rolled
+    /// back via the table's O(1) copy-on-write snapshot).
     pub fn execute_statement(&mut self, st: Statement) -> Result<ResultSet> {
         self.statements += 1;
+        // The store is taken out for the duration so mutation arms can
+        // borrow it alongside the catalog.
+        let mut store = self.durable.take();
+        let result = self.execute_with_store(st, store.as_mut());
+        self.durable = store;
+        #[cfg(debug_assertions)]
+        if result.is_err() {
+            self.assert_ledger_clean();
+        }
+        if result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
+    }
+
+    fn execute_with_store(
+        &mut self,
+        st: Statement,
+        mut store: Option<&mut DurableStore>,
+    ) -> Result<ResultSet> {
         match st {
             Statement::CreateTable { name, columns, if_not_exists } => {
-                self.catalog.create_table(&name, columns, if_not_exists, self.budget.clone())?;
+                if self.catalog.contains(&name) {
+                    // Duplicate: an error or an IF NOT EXISTS no-op —
+                    // either way nothing changes, so nothing is logged.
+                    self.catalog.create_table(
+                        &name,
+                        columns,
+                        if_not_exists,
+                        self.budget.clone(),
+                    )?;
+                    return Ok(ResultSet::dml(0));
+                }
+                let seq = match store.as_deref_mut() {
+                    Some(s) => {
+                        let seq = s.begin()?;
+                        s.log_create(&name, &columns)?;
+                        Some(seq)
+                    }
+                    None => None,
+                };
+                let created = self.catalog.create_table(
+                    &name,
+                    columns,
+                    if_not_exists,
+                    self.budget.clone(),
+                );
+                match created {
+                    Ok(_) => {}
+                    Err(e) => {
+                        // Validation rejected it (dup/empty columns): the
+                        // frame stays uncommitted and is truncated away.
+                        if let Some(s) = store.as_deref_mut() {
+                            s.abort();
+                        }
+                        return Err(e);
+                    }
+                }
+                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    if let Err(e) = s.commit(seq) {
+                        self.catalog.drop_table(&name, true)?;
+                        return Err(e);
+                    }
+                }
                 Ok(ResultSet::dml(0))
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(&name, if_exists)?;
+                if !self.catalog.contains(&name) {
+                    self.catalog.drop_table(&name, if_exists)?;
+                    return Ok(ResultSet::dml(0));
+                }
+                let seq = match store.as_deref_mut() {
+                    Some(s) => {
+                        let seq = s.begin()?;
+                        s.log_drop(&name)?;
+                        Some(seq)
+                    }
+                    None => None,
+                };
+                // Keep the removed table alive until the frame commits so
+                // a failed commit can restore it — budget charge included.
+                let stash = self.catalog.drop_table(&name, if_exists)?;
+                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    if let Err(e) = s.commit(seq) {
+                        if let Some(t) = stash {
+                            self.catalog.put_table(t);
+                        }
+                        return Err(e);
+                    }
+                }
                 Ok(ResultSet::dml(0))
             }
             Statement::Insert { table, columns, rows } => {
-                let n = self.run_insert(&table, columns.as_deref(), rows)?;
+                // Evaluate first: INSERT expressions are pure, so this
+                // cannot observe or modify state, and the WAL records
+                // concrete values rather than expressions.
+                let evaluated = self.eval_insert_rows(&table, columns.as_deref(), rows)?;
+                let seq = match store.as_deref_mut() {
+                    Some(s) if !evaluated.is_empty() => {
+                        let seq = s.begin()?;
+                        s.log_insert(&table, &evaluated)?;
+                        Some(seq)
+                    }
+                    _ => None,
+                };
+                let t = self.catalog.get_mut(&table)?;
+                let undo = t.undo_state();
+                let n = match t.load_rows(evaluated) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        // load_rows is atomic — the table is untouched.
+                        if let Some(s) = store.as_deref_mut() {
+                            s.abort();
+                        }
+                        return Err(e);
+                    }
+                };
+                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    if let Err(e) = s.commit(seq) {
+                        self.catalog.get_mut(&table)?.restore(undo);
+                        return Err(e);
+                    }
+                }
                 Ok(ResultSet::dml(n))
             }
             Statement::Delete { table, where_clause } => {
+                // Validate the table and predicate before logging anything.
                 let schema = self.catalog.get(&table)?.schema();
-                let predicate = match &where_clause {
-                    Some(w) => Some(bind(w, &schema)?),
+                if let Some(w) = &where_clause {
+                    bind(w, &schema)?;
+                }
+                let seq = match store.as_deref_mut() {
+                    Some(s) => {
+                        let seq = s.begin()?;
+                        let text = where_clause.as_ref().map(Expr::to_string);
+                        s.log_delete(&table, text.as_deref())?;
+                        Some(seq)
+                    }
                     None => None,
                 };
-                let t = self.catalog.get_mut(&table)?;
-                let n = t.delete_where(|row| match &predicate {
-                    Some(p) => Ok(p.eval(row)?.as_bool()? == Some(true)),
-                    None => Ok(true),
-                })?;
+                let undo = self.catalog.get(&table)?.undo_state();
+                let n = match self.run_delete(&table, where_clause.as_ref()) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        // delete_where is atomic on predicate errors.
+                        if let Some(s) = store.as_deref_mut() {
+                            s.abort();
+                        }
+                        return Err(e);
+                    }
+                };
+                if let (Some(s), Some(seq)) = (store, seq) {
+                    if let Err(e) = s.commit(seq) {
+                        self.catalog.get_mut(&table)?.restore(undo);
+                        return Err(e);
+                    }
+                }
                 Ok(ResultSet::dml(n))
             }
             Statement::Explain(q) => {
@@ -409,6 +743,29 @@ impl Database {
     /// Execution half of [`Self::create_table_as`] (runs on the execution
     /// stack for deep plans).
     fn create_table_as_exec(&mut self, name: &str, plan: Plan) -> Result<usize> {
+        let mut store = self.durable.take();
+        let result = self.create_table_as_with_store(name, plan, store.as_mut());
+        self.durable = store;
+        #[cfg(debug_assertions)]
+        if result.is_err() {
+            self.assert_ledger_clean();
+        }
+        if result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
+    }
+
+    /// CTAS body: one WAL frame wraps the `CREATE TABLE` and every
+    /// streamed insert chunk, so recovery replays either the whole table
+    /// or none of it. Any failure — query error mid-stream, budget
+    /// overrun, WAL fault — drops the partially built table again.
+    fn create_table_as_with_store(
+        &mut self,
+        name: &str,
+        plan: Plan,
+        mut store: Option<&mut DurableStore>,
+    ) -> Result<usize> {
         let schema = plan.schema();
         let ctx = self.ctx();
         let mut stream = self.build_row_source(&plan, &ctx)?;
@@ -430,34 +787,117 @@ impl Database {
             .into_iter()
             .zip(types)
             .collect();
-        self.catalog.create_table(name, columns, false, self.budget.clone())?;
-
-        let mut inserted = 0usize;
-        const CHUNK: usize = 4096;
-        let mut buf = first_rows;
-        loop {
-            while buf.len() < CHUNK {
-                match stream.next_row()? {
-                    Some(r) => buf.push(r),
-                    None => break,
+        let seq = match store.as_deref_mut() {
+            Some(s) => {
+                let seq = s.begin()?;
+                s.log_create(name, &columns)?;
+                Some(seq)
+            }
+            None => None,
+        };
+        self.catalog
+            .create_table(name, columns, false, self.budget.clone())
+            .inspect_err(|_| {
+                if let Some(s) = store.as_deref_mut() {
+                    s.abort();
                 }
+            })?;
+
+        // From here on every exit path must either commit or tear the
+        // partial table back down (in-memory CTAS previously leaked it).
+        let fill = |db: &mut Self, store: &mut Option<&mut DurableStore>| -> Result<usize> {
+            let mut inserted = 0usize;
+            const CHUNK: usize = 4096;
+            let mut buf = first_rows;
+            loop {
+                while buf.len() < CHUNK {
+                    match stream.next_row()? {
+                        Some(r) => buf.push(r),
+                        None => break,
+                    }
+                }
+                if buf.is_empty() {
+                    break;
+                }
+                if let Some(s) = store.as_deref_mut() {
+                    s.log_insert(name, &buf)?;
+                }
+                // `load_rows` coerces and appends straight into the table's
+                // typed column builders (chunked columnar storage).
+                inserted += db.catalog.get_mut(name)?.load_rows(std::mem::take(&mut buf))?;
             }
-            if buf.is_empty() {
-                break;
+            if let Some(s) = store.as_deref_mut() {
+                s.commit(seq.unwrap_or_default())?;
             }
-            // `load_rows` coerces and appends straight into the table's
-            // typed column builders (chunked columnar storage).
-            inserted += self.catalog.get_mut(name)?.load_rows(std::mem::take(&mut buf))?;
+            Ok(inserted)
+        };
+        match fill(self, &mut store) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                if let Some(s) = store {
+                    s.abort();
+                }
+                self.catalog.drop_table(name, true)?;
+                Err(e)
+            }
         }
-        Ok(inserted)
     }
 
     /// Bulk-load pre-built rows (bypasses SQL parsing; used by the Qymera
     /// translator for gate/state tables, mirroring a native loader API).
     /// Rows stream into the table's typed column builders; a coercion error
-    /// or budget overrun inserts nothing.
+    /// or budget overrun inserts nothing. WAL-framed like `INSERT` when the
+    /// database is durable.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        self.catalog.get_mut(table)?.load_rows(rows)
+        let mut store = self.durable.take();
+        let result = self.insert_rows_with_store(table, rows, store.as_mut());
+        self.durable = store;
+        #[cfg(debug_assertions)]
+        if result.is_err() {
+            self.assert_ledger_clean();
+        }
+        if result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
+    }
+
+    fn insert_rows_with_store(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        mut store: Option<&mut DurableStore>,
+    ) -> Result<usize> {
+        let seq = match store.as_deref_mut() {
+            Some(s) if !rows.is_empty() => {
+                let seq = s.begin()?;
+                s.log_insert(table, &rows)?;
+                Some(seq)
+            }
+            _ => None,
+        };
+        let t = self.catalog.get_mut(table).inspect_err(|_| {
+            if let Some(s) = store.as_deref_mut() {
+                s.abort();
+            }
+        })?;
+        let undo = t.undo_state();
+        let n = match t.load_rows(rows) {
+            Ok(n) => n,
+            Err(e) => {
+                if let Some(s) = store.as_deref_mut() {
+                    s.abort();
+                }
+                return Err(e);
+            }
+        };
+        if let (Some(s), Some(seq)) = (store, seq) {
+            if let Err(e) = s.commit(seq) {
+                self.catalog.get_mut(table)?.restore(undo);
+                return Err(e);
+            }
+        }
+        Ok(n)
     }
 
     /// Output schema a query would produce, without executing it.
@@ -486,16 +926,38 @@ impl Database {
         Ok(self.catalog.get(name)?.row_count())
     }
 
+    /// Drop `name` if present (WAL-framed like `DROP TABLE IF EXISTS`).
     pub fn drop_table_if_exists(&mut self, name: &str) -> Result<()> {
-        self.catalog.drop_table(name, true)
+        self.execute_statement(Statement::DropTable {
+            name: name.to_string(),
+            if_exists: true,
+        })
+        .map(|_| ())
     }
 
-    fn run_insert(
-        &mut self,
+    /// Apply a delete to the in-memory table (shared by `DELETE` execution
+    /// and WAL replay; the caller owns logging and rollback).
+    fn run_delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<usize> {
+        let schema = self.catalog.get(table)?.schema();
+        let predicate = match where_clause {
+            Some(w) => Some(bind(w, &schema)?),
+            None => None,
+        };
+        let t = self.catalog.get_mut(table)?;
+        t.delete_where(|row| match &predicate {
+            Some(p) => Ok(p.eval(row)?.as_bool()? == Some(true)),
+            None => Ok(true),
+        })
+    }
+
+    /// Evaluate `INSERT` value expressions into concrete rows in table
+    /// column order (expressions are pure; nothing is applied yet).
+    fn eval_insert_rows(
+        &self,
         table: &str,
         columns: Option<&[String]>,
         rows: Vec<Vec<crate::ast::Expr>>,
-    ) -> Result<usize> {
+    ) -> Result<Vec<Row>> {
         let empty_schema = RelSchema::default();
         let t = self.catalog.get(table)?;
         let ncols = t.columns().len();
@@ -533,7 +995,7 @@ impl Database {
             }
             evaluated.push(full);
         }
-        self.catalog.get_mut(table)?.load_rows(evaluated)
+        Ok(evaluated)
     }
 }
 

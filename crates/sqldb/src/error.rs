@@ -28,10 +28,14 @@ pub enum Error {
     /// The configured memory budget cannot accommodate the operation even
     /// after spilling to disk.
     OutOfMemory { requested: usize, budget: usize },
-    /// Error from the spill-file layer.
+    /// Error from the disk layer (spill files, WAL, checkpoints).
     Io(String),
     /// Feature recognized but not supported by this engine.
     Unsupported(String),
+    /// An engine invariant was violated. Reaching this is a bug, but it
+    /// surfaces as a typed error instead of a panic so a single bad query
+    /// cannot take down an embedding process.
+    Internal(String),
 }
 
 impl Error {
@@ -59,6 +63,7 @@ impl fmt::Display for Error {
             ),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
 }

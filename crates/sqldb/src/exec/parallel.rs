@@ -341,15 +341,15 @@ pub(crate) fn build_segment(
         }
         Plan::Alias { input, .. } => {
             let seg = descend(input)?;
-            push_stage(seg, MorselStage::Pass, slot)
+            push_stage(seg, MorselStage::Pass, slot)?
         }
         Plan::Filter { input, predicate } => {
             let seg = descend(input)?;
-            push_stage(seg, MorselStage::Filter(predicate.clone()), slot)
+            push_stage(seg, MorselStage::Filter(predicate.clone()), slot)?
         }
         Plan::Project { input, exprs, .. } => {
             let seg = descend(input)?;
-            push_stage(seg, MorselStage::Project(exprs.clone()), slot)
+            push_stage(seg, MorselStage::Project(exprs.clone()), slot)?
         }
         Plan::Join {
             left,
@@ -367,7 +367,7 @@ pub(crate) fn build_segment(
             let (table, reservations) =
                 build_join_table(right, catalog, ctx, depth + 1, lk, rk, residual, right_cols)?;
             seg.reservations.extend(reservations);
-            push_stage(seg, MorselStage::Probe(table, *kind == JoinKind::Left), slot)
+            push_stage(seg, MorselStage::Probe(table, *kind == JoinKind::Left), slot)?
         }
         other => {
             return Err(Error::Plan(format!(
@@ -378,12 +378,17 @@ pub(crate) fn build_segment(
 }
 
 /// Append a stage (and its stats slot) to a segment under construction.
-fn push_stage(mut seg: Segment, stage: MorselStage, slot: Option<usize>) -> Segment {
-    let core = Arc::get_mut(&mut seg.core).expect("core uniquely owned during build");
+/// The core `Arc` is shared with worker threads only once execution
+/// starts, so during build it is uniquely owned; a violation is an engine
+/// bug surfaced as a typed error rather than a panic.
+fn push_stage(mut seg: Segment, stage: MorselStage, slot: Option<usize>) -> Result<Segment> {
+    let core = Arc::get_mut(&mut seg.core).ok_or_else(|| {
+        Error::Internal("segment core aliased during plan build".into())
+    })?;
     core.stages.push(stage);
     core.stats.push([AtomicU64::new(0), AtomicU64::new(0)]);
     seg.slots.push(slot);
-    seg
+    Ok(seg)
 }
 
 /// Build the segment for an aggregate's input plan, registering the input's
@@ -738,21 +743,23 @@ fn run_fold_workers<S: Send, T: Send>(
             .collect()
     });
     segment.flush_stats(ctx);
-    if results.iter().any(|(_, r)| r.is_err()) {
-        let (_, first) = results
-            .into_iter()
-            .filter(|(_, r)| r.is_err())
-            .min_by_key(|(i, _)| *i)
-            .expect("checked non-empty");
-        let Err(e) = first else { unreachable!("filtered to errors") };
-        return Err(e);
-    }
+    // Deterministic error discipline: report the failure at the lowest
+    // morsel index, regardless of which worker hit it first.
     let mut out = Vec::with_capacity(results.len());
-    for (_, r) in results {
-        let Ok(t) = r else { unreachable!("errors handled above") };
-        out.push(t);
+    let mut first_err: Option<(usize, Error)> = None;
+    for (i, r) in results {
+        match r {
+            Ok(t) => out.push(t),
+            Err(e) if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) => {
+                first_err = Some((i, e));
+            }
+            Err(_) => {}
+        }
     }
-    Ok(out)
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Run the aggregate consume phase morsel-parallel: each worker aggregates

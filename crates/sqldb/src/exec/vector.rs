@@ -606,6 +606,9 @@ impl JoinTableBuilder {
             let idx = self.kept.len() as u32;
             self.kept.push(row);
             match &mut self.table {
+                // SAFETY of expect: `KeyMap::Single` is only constructed for
+                // one-column join keys, and every caller builds `keys` with
+                // exactly one entry per key column.
                 KeyMap::Single(m) => m
                     .entry(keys.into_iter().next().expect("single key"))
                     .or_default()
@@ -1282,6 +1285,7 @@ impl AggCore {
             }
             *writers = Some(ws);
         }
+        // SAFETY of expect: the branch above installs `Some` when absent.
         let ws = writers.as_mut().expect("just initialized");
         match table {
             AggTable::Fast { map, keys, sums } => {
@@ -1470,6 +1474,8 @@ impl BatchHashAggregate {
             // Route the residue through the partitions as well, so the merge
             // phase sees every group exactly once per partition.
             core.flush(&mut table, &mut writers, 0, &self.ctx.spill, &mut self.reservation)?;
+            // SAFETY of expect: guarded by `writers.is_some()` above, and
+            // `flush` never clears an already-installed writer set.
             for w in writers.expect("writers present") {
                 if w.rows() > 0 {
                     pending.push((vec![w.into_reader()?], 1));
@@ -1664,6 +1670,8 @@ impl BatchHashAggregate {
             core.flush(&mut tmp, &mut writers, depth, &self.ctx.spill, &mut self.reservation)?;
             let AggTable::Generic(flushed) = tmp else { unreachable!() };
             map = flushed;
+            // SAFETY of expect: guarded by `writers.is_some()` above, and
+            // `flush` never clears an already-installed writer set.
             for w in writers.expect("writers present") {
                 if w.rows() > 0 {
                     extra_pending.push((vec![w.into_reader()?], depth + 1));

@@ -35,7 +35,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::catalog::Catalog;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
 use crate::plan::logical::{Plan, SortKey};
 use crate::storage::budget::Reservation;
@@ -123,8 +123,22 @@ impl RunSource {
             RunSource::Mem(iter) => Ok(iter.next()),
             RunSource::Spill(reader) => match reader.next_row()? {
                 Some(mut record) => {
+                    // A spilled record is `key ++ [ordinal] ++ row`; a shorter
+                    // record means the spill file was corrupted on disk.
+                    if record.len() <= key_len {
+                        return Err(Error::Internal(
+                            "spilled sort record shorter than its key".into(),
+                        ));
+                    }
                     let row = record.split_off(key_len + 1);
-                    let ord = record.pop().expect("record has an ordinal").as_i64()? as u64;
+                    let ord = match record.pop() {
+                        Some(v) => v.as_i64()? as u64,
+                        None => {
+                            return Err(Error::Internal(
+                                "spilled sort record missing its ordinal".into(),
+                            ))
+                        }
+                    };
                     Ok(Some((record, ord, row)))
                 }
                 None => Ok(None),
@@ -369,6 +383,8 @@ fn offer_topk(
     if heap.len() == k {
         // Reject without materializing the row when it cannot beat the
         // current worst (the common case on mostly-sorted input).
+        // SAFETY of expect: `heap.len() == k` and `k >= 1` (LIMIT 0 returns
+        // before building a heap), so peek/pop cannot observe an empty heap.
         let worst = heap.peek().expect("heap is full");
         if cmp_keys(&key, &worst.key, desc).then(ord.cmp(&worst.ord)) != Ordering::Less {
             return;

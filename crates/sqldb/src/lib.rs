@@ -40,8 +40,9 @@ pub mod value;
 pub mod vexpr;
 
 pub use bigbits::BigBits;
-pub use db::{Database, DbStats, ExecPath, ResultSet};
+pub use db::{Database, DbStats, DurabilityOptions, ExecPath, ResultSet};
 pub use error::{Error, Result};
 pub use storage::budget::MemoryBudget;
+pub use storage::wal::FsyncPolicy;
 pub use storage::spill::Row;
 pub use value::Value;

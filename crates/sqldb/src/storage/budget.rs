@@ -146,6 +146,15 @@ impl Reservation {
         }
     }
 
+    /// Grow this reservation by `bytes` unconditionally (see
+    /// [`MemoryBudget::reserve_overdraft`]). Used where failure is not an
+    /// option: restoring a table's pre-statement charge during WAL rollback
+    /// and charging transient survivor copies during delete re-pack.
+    pub(crate) fn grow_overdraft(&mut self, bytes: usize) {
+        self.budget.reserve_overdraft(bytes);
+        self.bytes += bytes;
+    }
+
     /// Shrink this reservation by `bytes` (saturating).
     pub fn shrink(&mut self, bytes: usize) {
         let b = bytes.min(self.bytes);

@@ -1,4 +1,6 @@
-//! Memory accounting and disk spill infrastructure.
+//! Memory accounting, disk spill, and durability infrastructure.
 
 pub mod budget;
+pub mod fault;
 pub mod spill;
+pub mod wal;

@@ -15,6 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::bigbits::BigBits;
 use crate::error::{Error, Result};
+use crate::storage::fault::{FaultInjector, FaultSite};
 use crate::value::Value;
 
 /// A row as stored and exchanged by operators.
@@ -28,11 +29,19 @@ pub struct SpillDir {
     path: PathBuf,
     files_created: AtomicU64,
     bytes_written: AtomicU64,
+    injector: Arc<FaultInjector>,
 }
 
 impl SpillDir {
     /// Create a fresh spill directory under the system temp dir.
     pub fn new() -> Result<Arc<Self>> {
+        Self::new_with(FaultInjector::none())
+    }
+
+    /// Create a spill directory whose file I/O is gated by `injector`
+    /// (shared with the WAL in durable databases so one schedule covers
+    /// every disk path).
+    pub fn new_with(injector: Arc<FaultInjector>) -> Result<Arc<Self>> {
         let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = std::env::temp_dir().join(format!(
             "qymera-sqldb-{}-{}",
@@ -44,12 +53,23 @@ impl SpillDir {
             path,
             files_created: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            injector,
         }))
     }
 
     /// Filesystem path of the spill directory.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The fault injector gating this directory's file I/O.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// Number of files currently present on disk (orphan-leak checks).
+    pub fn live_files(&self) -> usize {
+        fs::read_dir(&self.path).map(|d| d.count()).unwrap_or(0)
     }
 
     /// Total spill files created over the database lifetime.
@@ -102,16 +122,31 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn decode_value(buf: &mut Bytes) -> Result<Value> {
-    if buf.is_empty() {
+/// Require `n` more bytes in `buf`; `bytes::Buf` getters panic on underflow,
+/// so every fixed-width read below is guarded to turn a corrupted or
+/// truncated record into a typed [`Error::Io`] instead of a panic.
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
         return Err(Error::Io("truncated spill record".into()));
     }
+    Ok(())
+}
+
+fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    need(buf, 1)?;
     let tag = buf.get_u8();
     Ok(match tag {
         0 => Value::Null,
-        1 => Value::Int(buf.get_i64_le()),
-        2 => Value::Float(buf.get_f64_le()),
+        1 => {
+            need(buf, 8)?;
+            Value::Int(buf.get_i64_le())
+        }
+        2 => {
+            need(buf, 8)?;
+            Value::Float(buf.get_f64_le())
+        }
         3 => {
+            need(buf, 4)?;
             let len = buf.get_u32_le() as usize;
             if buf.remaining() < len {
                 return Err(Error::Io("truncated spill string".into()));
@@ -120,8 +155,12 @@ fn decode_value(buf: &mut Bytes) -> Result<Value> {
             Value::Str(String::from_utf8(bytes.to_vec()).map_err(|e| Error::Io(e.to_string()))?)
         }
         4 => {
+            need(buf, 12)?;
             let width = buf.get_u64_le() as usize;
             let n = buf.get_u32_le() as usize;
+            need(buf, n.checked_mul(8).ok_or_else(|| {
+                Error::Io("bad spill bigint length".into())
+            })?)?;
             let mut words = Vec::with_capacity(n);
             for _ in 0..n {
                 words.push(buf.get_u64_le());
@@ -140,13 +179,29 @@ pub fn encode_row(buf: &mut BytesMut, row: &Row) {
     }
 }
 
-/// Append-only spill writer.
+/// Decode a full row previously written by [`encode_row`]. Shared with the
+/// WAL and checkpoint codecs so every on-disk row uses one format.
+pub fn decode_row(bytes: &mut Bytes) -> Result<Row> {
+    need(bytes, 4)?;
+    let ncols = bytes.get_u32_le() as usize;
+    let mut row = Vec::with_capacity(ncols.min(1 << 16));
+    for _ in 0..ncols {
+        row.push(decode_value(bytes)?);
+    }
+    Ok(row)
+}
+
+/// Append-only spill writer. Dropping a writer without converting it into a
+/// reader removes its file, so an operator that dies mid-spill (out of
+/// memory, injected I/O fault, panic unwound by the morsel driver) never
+/// leaks a temp file.
 pub struct SpillWriter {
     dir: Arc<SpillDir>,
     path: PathBuf,
     writer: BufWriter<File>,
     rows: u64,
     buf: BytesMut,
+    finished: bool,
 }
 
 impl SpillWriter {
@@ -160,6 +215,7 @@ impl SpillWriter {
             writer: BufWriter::new(file),
             rows: 0,
             buf: BytesMut::with_capacity(4096),
+            finished: false,
         })
     }
 
@@ -169,8 +225,9 @@ impl SpillWriter {
         encode_row(&mut self.buf, row);
         // length-prefix each record so readers can stream
         let len = self.buf.len() as u32;
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&self.buf)?;
+        let inj = Arc::clone(&self.dir.injector);
+        inj.write_all(FaultSite::SpillWrite, &mut self.writer, &len.to_le_bytes())?;
+        inj.write_all(FaultSite::SpillWrite, &mut self.writer, &self.buf)?;
         self.dir.bytes_written.fetch_add(4 + len as u64, Ordering::Relaxed);
         self.rows += 1;
         Ok(())
@@ -184,8 +241,20 @@ impl SpillWriter {
     /// Flush and convert into a reader over the written rows.
     pub fn into_reader(mut self) -> Result<SpillReader> {
         self.writer.flush()?;
-        drop(self.writer);
-        SpillReader::open(self.path, self.rows)
+        self.finished = true; // file ownership passes to the reader
+        SpillReader::open(
+            std::mem::take(&mut self.path),
+            self.rows,
+            Arc::clone(&self.dir.injector),
+        )
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -194,12 +263,20 @@ pub struct SpillReader {
     path: PathBuf,
     reader: BufReader<File>,
     remaining: u64,
+    injector: Arc<FaultInjector>,
 }
 
 impl SpillReader {
-    fn open(path: PathBuf, rows: u64) -> Result<Self> {
-        let file = File::open(&path)?;
-        Ok(SpillReader { path, reader: BufReader::new(file), remaining: rows })
+    fn open(path: PathBuf, rows: u64, injector: Arc<FaultInjector>) -> Result<Self> {
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                // Ownership landed here; don't leak the file on a failed open.
+                let _ = fs::remove_file(&path);
+                return Err(e.into());
+            }
+        };
+        Ok(SpillReader { path, reader: BufReader::new(file), remaining: rows, injector })
     }
 
     /// Total rows left to read.
@@ -212,17 +289,14 @@ impl SpillReader {
         if self.remaining == 0 {
             return Ok(None);
         }
+        self.injector.check(FaultSite::SpillRead)?;
         let mut len_buf = [0u8; 4];
         self.reader.read_exact(&mut len_buf)?;
         let len = u32::from_le_bytes(len_buf) as usize;
         let mut data = vec![0u8; len];
         self.reader.read_exact(&mut data)?;
         let mut bytes = Bytes::from(data);
-        let ncols = bytes.get_u32_le() as usize;
-        let mut row = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            row.push(decode_value(&mut bytes)?);
-        }
+        let row = decode_row(&mut bytes)?;
         self.remaining -= 1;
         Ok(Some(row))
     }

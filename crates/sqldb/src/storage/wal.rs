@@ -1,0 +1,914 @@
+//! Write-ahead log and checkpointing: the crash-safe durability layer.
+//!
+//! ROADMAP item 3. A durable database directory contains at most three
+//! files:
+//!
+//! * `wal.qwl` — the write-ahead log. A flat sequence of checksummed,
+//!   length-prefixed records: `[u32 len][u32 crc32(payload)][payload]`.
+//!   Statements are framed by `Begin{seq}` / `Commit{seq}` records around
+//!   their logical payloads (`CreateTable`, `DropTable`, `Insert`,
+//!   `Delete`), so recovery replays exactly the **committed prefix**: a
+//!   frame with no matching `Commit` — because the process died mid-frame —
+//!   is ignored, and a torn or corrupted record ends replay at the last
+//!   good boundary (the tail past it is discarded).
+//! * `checkpoint.qck` — a full serialized image of every table, stamped
+//!   with the statement sequence number it covers. Produced by walking each
+//!   table's O(1) `Arc` chunk snapshot (checkpointing never blocks or
+//!   copies table data beyond the serialization itself) and published
+//!   atomically: written to `checkpoint.tmp`, fsynced, renamed over the old
+//!   image, directory fsynced, and only then is the WAL truncated behind
+//!   it. A crash in *any* window of that protocol recovers correctly: the
+//!   tmp file is ignored and deleted, and replay skips WAL frames whose
+//!   `seq` the surviving checkpoint already covers.
+//! * `checkpoint.tmp` — transient; deleted on open.
+//!
+//! Durability knob: `QYMERA_FSYNC` = `always` (fsync every record),
+//! `commit` (default — fsync once per statement frame), or `off` (no
+//! fsync; crash consistency still holds via checksums, but the tail of
+//! acknowledged statements may be lost with the OS cache).
+//!
+//! Every file operation goes through the shared
+//! [`FaultInjector`], which is how
+//! the crash-matrix test kills the engine at every one of these steps and
+//! asserts recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ast::DataType;
+use crate::error::{Error, Result};
+use crate::storage::fault::{FaultInjector, FaultSite};
+use crate::storage::spill::{decode_row, encode_row, Row};
+use crate::table::Table;
+
+/// WAL file name inside a database directory.
+pub const WAL_FILE: &str = "wal.qwl";
+/// Live checkpoint image name.
+pub const CHECKPOINT_FILE: &str = "checkpoint.qck";
+/// In-flight checkpoint image (ignored and removed at open).
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// 8-byte magic prefixing a checkpoint image.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"QYCKPT01";
+
+/// When to force WAL bytes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every record append (slowest, strongest).
+    Always,
+    /// fsync once per committed statement frame (the default): an
+    /// acknowledged statement survives power loss.
+    #[default]
+    Commit,
+    /// Never fsync. Consistency still holds (checksummed replay), but the
+    /// tail of acknowledged statements may be lost with the OS cache.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Read the `QYMERA_FSYNC` environment knob (`always`/`commit`/`off`);
+    /// unset defaults to [`FsyncPolicy::Commit`], anything else panics —
+    /// the variable exists to *strengthen* guarantees in deployment, and
+    /// silently ignoring a typo would invert that.
+    pub fn from_env() -> Self {
+        match std::env::var("QYMERA_FSYNC") {
+            Err(_) => FsyncPolicy::Commit,
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "always" => FsyncPolicy::Always,
+                "commit" | "" => FsyncPolicy::Commit,
+                "off" => FsyncPolicy::Off,
+                other => panic!("QYMERA_FSYNC must be always|commit|off, got `{other}`"),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// crc32 (IEEE 802.3, table-driven) — hand-rolled; the engine vendors no
+// checksum crate.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC-32 accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh accumulator (standard all-ones initial state).
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Record payloads
+
+/// Payload tags (first byte of every record payload).
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_CREATE: u8 = 3;
+const TAG_DROP: u8 = 4;
+const TAG_INSERT: u8 = 5;
+const TAG_DELETE: u8 = 6;
+
+/// A logical operation recovered from the WAL. One committed statement
+/// frame carries one of these — except CTAS, which logs a `CreateTable`
+/// followed by one `Insert` per streamed chunk, all inside one frame.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names mirror the statements they log
+pub enum WalOp {
+    CreateTable { name: String, columns: Vec<(String, DataType)> },
+    DropTable { name: String },
+    Insert { table: String, rows: Vec<Row> },
+    /// The predicate is stored as SQL text (`None` = unconditional):
+    /// expressions are pure, so re-parsing and re-evaluating at replay is
+    /// deterministic and avoids a second serialization format.
+    Delete { table: String, predicate: Option<String> },
+}
+
+/// A committed statement frame read back during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalFrame {
+    /// Monotonic statement sequence number the frame committed under.
+    pub seq: u64,
+    /// The statement's logical operations, in apply order.
+    pub ops: Vec<WalOp>,
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Integer => 0,
+        DataType::Double => 1,
+        DataType::Text => 2,
+        DataType::HugeInt => 3,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Integer,
+        1 => DataType::Double,
+        2 => DataType::Text,
+        3 => DataType::HugeInt,
+        t => return Err(Error::Io(format!("bad column type tag {t}"))),
+    })
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Require `n` more bytes: `bytes::Buf` getters panic on underflow, so all
+/// decode paths bounds-check first and surface corruption as [`Error::Io`].
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(Error::Io("truncated log record".into()));
+    }
+    Ok(())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    need(buf, len)?;
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| Error::Io(e.to_string()))
+}
+
+fn encode_columns(buf: &mut BytesMut, columns: &[(String, DataType)]) {
+    buf.put_u32_le(columns.len() as u32);
+    for (name, ty) in columns {
+        put_string(buf, name);
+        buf.put_u8(type_tag(*ty));
+    }
+}
+
+fn decode_columns(buf: &mut Bytes) -> Result<Vec<(String, DataType)>> {
+    let n = get_u32(buf)? as usize;
+    let mut columns = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        let ty = type_from_tag(get_u8(buf)?)?;
+        columns.push((name, ty));
+    }
+    Ok(columns)
+}
+
+/// Decode a record payload. `Ok(None)` for frame-control records
+/// (`Begin`/`Commit`), which the replay loop handles by tag directly.
+fn decode_op(payload: &mut Bytes) -> Result<WalOp> {
+    match get_u8(payload)? {
+        TAG_CREATE => Ok(WalOp::CreateTable {
+            name: get_string(payload)?,
+            columns: decode_columns(payload)?,
+        }),
+        TAG_DROP => Ok(WalOp::DropTable { name: get_string(payload)? }),
+        TAG_INSERT => {
+            let table = get_string(payload)?;
+            let nrows = get_u32(payload)? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+            for _ in 0..nrows {
+                rows.push(decode_row(payload)?);
+            }
+            Ok(WalOp::Insert { table, rows })
+        }
+        TAG_DELETE => {
+            let table = get_string(payload)?;
+            let predicate = match get_u8(payload)? {
+                0 => None,
+                _ => Some(get_string(payload)?),
+            };
+            Ok(WalOp::Delete { table, predicate })
+        }
+        t => Err(Error::Io(format!("bad log record tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself
+
+/// Append-side of the write-ahead log. All appends go through the shared
+/// [`FaultInjector`]; `good_end` tracks the byte offset of the last
+/// **committed frame** boundary, and any failed append triggers a
+/// truncate-back repair to that boundary so the next frame starts clean.
+#[derive(Debug)]
+struct Wal {
+    file: File,
+    len: u64,
+    /// End offset of the last committed frame; repairs truncate here.
+    good_end: u64,
+    /// Set when a repair itself failed: the on-disk tail is unknown, so all
+    /// further appends are refused until a checkpoint resets the log.
+    poisoned: bool,
+}
+
+/// Everything recovered from a database directory at open.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Statement sequence the checkpoint covers, with its table images.
+    pub checkpoint: Option<(u64, Vec<CkptTable>)>,
+    /// Committed WAL frames with `seq` beyond the checkpoint, in order.
+    pub frames: Vec<WalFrame>,
+}
+
+/// One table image inside a checkpoint.
+#[derive(Debug)]
+pub struct CkptTable {
+    /// Declared table name (original casing).
+    pub name: String,
+    /// Declared columns in schema order.
+    pub columns: Vec<(String, DataType)>,
+    /// Every row, already coerced to the declared types.
+    pub rows: Vec<Row>,
+}
+
+/// The durable half of a database: WAL appends, statement framing,
+/// checkpoint publication, and recovery. Owned by
+/// [`Database`](crate::db::Database) when opened with a path.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    policy: FsyncPolicy,
+    injector: Arc<FaultInjector>,
+    /// Sequence number the next statement frame will carry.
+    next_seq: u64,
+    /// Sequence of the last committed frame (what a checkpoint covers).
+    last_committed: u64,
+    /// Auto-checkpoint once the WAL grows past this many bytes
+    /// (0 = never).
+    pub checkpoint_every_bytes: u64,
+}
+
+/// Default WAL size that triggers an automatic checkpoint.
+pub const DEFAULT_CHECKPOINT_BYTES: u64 = 8 * 1024 * 1024;
+
+impl DurableStore {
+    /// Open (or create) the durable store in `dir`, recovering the last
+    /// checkpoint and the committed WAL prefix. Any torn tail — a frame
+    /// without its `Commit`, a half-written record, a corrupted checksum —
+    /// is discarded and the log truncated back to the last good boundary.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        injector: Arc<FaultInjector>,
+    ) -> Result<(Self, Recovered)> {
+        fs::create_dir_all(dir)?;
+        // A crash mid-checkpoint may leave a tmp image; it covers nothing.
+        let _ = fs::remove_file(dir.join(CHECKPOINT_TMP));
+
+        let checkpoint = read_checkpoint(&dir.join(CHECKPOINT_FILE))?;
+        let ckpt_seq = checkpoint.as_ref().map_or(0, |(seq, _)| *seq);
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut file =
+            OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .read(true)
+                .write(true)
+                .open(&wal_path)?;
+        let (frames, committed_end, max_seq) = replay_committed(&mut file, ckpt_seq)?;
+        // Discard the torn/uncommitted tail so appends start at a clean
+        // boundary. (A plain open never injects: schedules arm later.)
+        file.set_len(committed_end)?;
+        file.seek(SeekFrom::Start(committed_end))?;
+
+        let next_seq = max_seq.max(ckpt_seq) + 1;
+        let store = DurableStore {
+            dir: dir.to_path_buf(),
+            wal: Wal {
+                file,
+                len: committed_end,
+                good_end: committed_end,
+                poisoned: false,
+            },
+            policy,
+            injector,
+            next_seq,
+            last_committed: max_seq.max(ckpt_seq),
+            checkpoint_every_bytes: DEFAULT_CHECKPOINT_BYTES,
+        };
+        Ok((store, Recovered { checkpoint, frames }))
+    }
+
+    /// Database directory this store persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current WAL length in bytes (committed frames only between
+    /// statements).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len
+    }
+
+    /// The fsync policy in force.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The injector gating this store's file I/O.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// Whether the WAL grew past the auto-checkpoint threshold.
+    pub fn wants_checkpoint(&self) -> bool {
+        self.checkpoint_every_bytes > 0 && self.wal.len > self.checkpoint_every_bytes
+    }
+
+    fn append_record(&mut self, payload: &[u8]) -> Result<()> {
+        if self.wal.poisoned {
+            return Err(Error::Io(
+                "write-ahead log poisoned by an earlier failed repair; \
+                 checkpoint or reopen to continue"
+                    .into(),
+            ));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        match self.injector.write_all(FaultSite::WalAppend, &mut self.wal.file, &frame) {
+            Ok(()) => {
+                self.wal.len += frame.len() as u64;
+                if self.policy == FsyncPolicy::Always {
+                    if let Err(e) =
+                        self.injector.fsync(FaultSite::WalFsync, &self.wal.file)
+                    {
+                        self.repair();
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // A torn write may have landed part of the record; the
+                // on-disk length is unknown, so roll the file back to the
+                // last committed boundary before anything else is appended.
+                self.wal.len = self.wal.file.seek(SeekFrom::End(0)).unwrap_or(self.wal.len);
+                self.repair();
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncate the log back to the last committed frame boundary. On
+    /// failure the log is poisoned (appends refused) until a checkpoint
+    /// resets it — recovery tolerates the garbage tail either way via
+    /// checksums and commit framing.
+    fn repair(&mut self) {
+        let ok = self.injector.check(FaultSite::WalTruncate).is_ok()
+            && self.wal.file.set_len(self.wal.good_end).is_ok()
+            && self.wal.file.seek(SeekFrom::Start(self.wal.good_end)).is_ok();
+        if ok {
+            self.wal.len = self.wal.good_end;
+        } else {
+            self.wal.poisoned = true;
+        }
+    }
+
+    /// Start a statement frame; returns its sequence number. The frame
+    /// holds no locks and buffers nothing — records land in the file as
+    /// they are logged, and only `commit` makes them recoverable.
+    pub fn begin(&mut self) -> Result<u64> {
+        let seq = self.next_seq;
+        let mut buf = BytesMut::with_capacity(9);
+        buf.put_u8(TAG_BEGIN);
+        buf.put_u64_le(seq);
+        self.append_record(&buf)?;
+        Ok(seq)
+    }
+
+    /// Log a `CREATE TABLE` inside the open frame.
+    pub fn log_create(&mut self, name: &str, columns: &[(String, DataType)]) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_CREATE);
+        put_string(&mut buf, name);
+        encode_columns(&mut buf, columns);
+        self.append_record(&buf)
+    }
+
+    /// Log a `DROP TABLE` inside the open frame.
+    pub fn log_drop(&mut self, name: &str) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_DROP);
+        put_string(&mut buf, name);
+        self.append_record(&buf)
+    }
+
+    /// Log an `INSERT` of already-evaluated rows inside the open frame.
+    /// Rows are borrowed: logging copies them into the record buffer but
+    /// never clones the caller's vector.
+    pub fn log_insert(&mut self, table: &str, rows: &[Row]) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_INSERT);
+        put_string(&mut buf, table);
+        buf.put_u32_le(rows.len() as u32);
+        for row in rows {
+            encode_row(&mut buf, row);
+        }
+        self.append_record(&buf)
+    }
+
+    /// Log a `DELETE` inside the open frame (predicate as SQL text).
+    pub fn log_delete(&mut self, table: &str, predicate: Option<&str>) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_DELETE);
+        put_string(&mut buf, table);
+        match predicate {
+            None => buf.put_u8(0),
+            Some(p) => {
+                buf.put_u8(1);
+                put_string(&mut buf, p);
+            }
+        }
+        self.append_record(&buf)
+    }
+
+    /// Commit the open frame: append the `Commit` record, force it down
+    /// per the fsync policy, and advance the committed boundary. After
+    /// `Ok`, the statement survives a crash; on `Err` the frame is rolled
+    /// off the log and the caller must undo its in-memory effects.
+    pub fn commit(&mut self, seq: u64) -> Result<()> {
+        let mut buf = BytesMut::with_capacity(9);
+        buf.put_u8(TAG_COMMIT);
+        buf.put_u64_le(seq);
+        self.append_record(&buf)?;
+        if self.policy != FsyncPolicy::Off {
+            if let Err(e) = self.injector.fsync(FaultSite::WalFsync, &self.wal.file) {
+                // Unknown durability of the frame: discard it so the
+                // in-memory rollback and recovery agree.
+                self.repair();
+                return Err(e);
+            }
+        }
+        self.wal.good_end = self.wal.len;
+        self.last_committed = seq;
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    /// Abandon the open frame after an in-memory apply error: best-effort
+    /// truncate back to the committed boundary. Even if the truncate fails,
+    /// recovery ignores the frame (no `Commit` record), so this never
+    /// errors.
+    pub fn abort(&mut self) {
+        self.repair();
+    }
+
+    /// Write a checkpoint covering every committed statement, publish it
+    /// atomically, and truncate the WAL behind it. `tables` must be the
+    /// live catalog state (sorted iteration keeps the image
+    /// deterministic). On error the durable state is unchanged — the tmp
+    /// image is removed and the WAL still covers everything.
+    pub fn checkpoint(&mut self, tables: &[&Table]) -> Result<()> {
+        let seq = self.last_committed;
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        let result = self.write_checkpoint_tmp(&tmp, seq, tables);
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Atomic publication: rename over the previous image, then fsync
+        // the directory so the rename itself is durable.
+        self.injector.check(FaultSite::CheckpointRename)?;
+        fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        if self.policy != FsyncPolicy::Off {
+            let dirf = File::open(&self.dir)?;
+            self.injector.fsync(FaultSite::CheckpointFsync, &dirf)?;
+        }
+        // The WAL's frames are all covered by the image now. A failure
+        // here is benign (replay skips frames with seq ≤ checkpoint seq),
+        // but surfaces as an error so operators see the log not shrinking.
+        self.injector.check(FaultSite::WalTruncate)?;
+        self.wal.file.set_len(0)?;
+        self.wal.file.seek(SeekFrom::Start(0))?;
+        self.wal.len = 0;
+        self.wal.good_end = 0;
+        self.wal.poisoned = false;
+        Ok(())
+    }
+
+    fn write_checkpoint_tmp(
+        &mut self,
+        tmp: &Path,
+        seq: u64,
+        tables: &[&Table],
+    ) -> Result<()> {
+        let mut file =
+            OpenOptions::new().create(true).write(true).truncate(true).open(tmp)?;
+        let mut crc = Crc32::new();
+        let write = |file: &mut File, crc: &mut Crc32, bytes: &[u8]| -> Result<()> {
+            crc.update(bytes);
+            self.injector.write_all(FaultSite::CheckpointWrite, file, bytes)
+        };
+
+        self.injector.write_all(FaultSite::CheckpointWrite, &mut file, CHECKPOINT_MAGIC)?;
+        let mut head = BytesMut::new();
+        head.put_u64_le(seq);
+        head.put_u32_le(tables.len() as u32);
+        write(&mut file, &mut crc, &head)?;
+
+        let mut buf = BytesMut::new();
+        for table in tables {
+            buf.clear();
+            put_string(&mut buf, table.name());
+            encode_columns(&mut buf, table.columns());
+            buf.put_u64_le(table.row_count() as u64);
+            write(&mut file, &mut crc, &buf)?;
+            // Walk the O(1) Arc snapshot chunk by chunk: serialization
+            // streams without materializing the table as rows.
+            let snapshot = table.snapshot();
+            for chunk in snapshot.chunks() {
+                buf.clear();
+                for i in 0..chunk.rows() {
+                    encode_row(&mut buf, &chunk.row(i));
+                }
+                write(&mut file, &mut crc, &buf)?;
+            }
+        }
+        let trailer = crc.finish().to_le_bytes();
+        self.injector.write_all(FaultSite::CheckpointWrite, &mut file, &trailer)?;
+        self.injector.fsync(FaultSite::CheckpointFsync, &file)?;
+        Ok(())
+    }
+}
+
+/// Read and verify a checkpoint image; `Ok(None)` when absent. A corrupted
+/// image (bad magic, bad trailer CRC, truncated body) is an error — unlike
+/// a torn WAL tail it cannot be partially trusted, because it *replaces*
+/// state rather than appending to it.
+fn read_checkpoint(path: &Path) -> Result<Option<(u64, Vec<CkptTable>)>> {
+    let data = match fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if data.len() < CHECKPOINT_MAGIC.len() + 4 || &data[..8] != CHECKPOINT_MAGIC {
+        return Err(Error::Io("checkpoint image has bad magic".into()));
+    }
+    let body = &data[8..data.len() - 4];
+    let stored =
+        u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4-byte trailer"));
+    if crc32(body) != stored {
+        return Err(Error::Io("checkpoint image failed checksum".into()));
+    }
+    let mut buf = Bytes::from(body.to_vec());
+    let seq = get_u64(&mut buf)?;
+    let ntables = get_u32(&mut buf)? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1 << 12));
+    for _ in 0..ntables {
+        let name = get_string(&mut buf)?;
+        let columns = decode_columns(&mut buf)?;
+        let nrows = get_u64(&mut buf)? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+        for _ in 0..nrows {
+            rows.push(decode_row(&mut buf)?);
+        }
+        tables.push(CkptTable { name, columns, rows });
+    }
+    Ok(Some((seq, tables)))
+}
+
+/// Scan the WAL, returning the committed frames with `seq > ckpt_seq`, the
+/// byte offset just past the last committed frame, and the highest
+/// committed `seq` seen. Stops — without error — at the first torn or
+/// corrupted record: everything past the last `Commit` is a casualty of
+/// the crash, by design.
+fn replay_committed(
+    file: &mut File,
+    ckpt_seq: u64,
+) -> Result<(Vec<WalFrame>, u64, u64)> {
+    let mut data = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut data)?;
+
+    let mut frames = Vec::new();
+    let mut pending: Option<WalFrame> = None;
+    let mut offset = 0usize;
+    let mut committed_end = 0u64;
+    let mut max_seq = 0u64;
+
+    while data.len() - offset >= 8 {
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+                as usize;
+        let stored =
+            u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let Some(end) = offset.checked_add(8 + len) else { break };
+        if end > data.len() {
+            break; // torn tail: record extends past the file
+        }
+        let payload = &data[offset + 8..end];
+        if crc32(payload) != stored {
+            break; // corrupted record: stop at the last good boundary
+        }
+        let mut bytes = Bytes::from(payload.to_vec());
+        // Tag dispatch: frame control inline, payload ops via decode_op.
+        let Ok(tag) = get_u8(&mut bytes) else { break };
+        match tag {
+            TAG_BEGIN => {
+                let Ok(seq) = get_u64(&mut bytes) else { break };
+                // A Begin while a frame is pending means the previous frame
+                // never committed (crash mid-statement): drop it.
+                pending = Some(WalFrame { seq, ops: Vec::new() });
+            }
+            TAG_COMMIT => {
+                let Ok(seq) = get_u64(&mut bytes) else { break };
+                if let Some(frame) = pending.take() {
+                    if frame.seq == seq {
+                        max_seq = max_seq.max(seq);
+                        committed_end = end as u64;
+                        if seq > ckpt_seq {
+                            frames.push(frame);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut full = Bytes::from(payload.to_vec());
+                let Ok(op) = decode_op(&mut full) else { break };
+                if let Some(frame) = pending.as_mut() {
+                    frame.ops.push(op);
+                }
+                // An op outside any frame is tolerated and ignored — it can
+                // only arise from a repair that half-succeeded.
+            }
+        }
+        offset = end;
+    }
+    Ok((frames, committed_end, max_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::budget::MemoryBudget;
+    use crate::value::Value;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qymera-wal-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> (DurableStore, Recovered) {
+        DurableStore::open(dir, FsyncPolicy::Commit, FaultInjector::none()).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn committed_frames_replay_in_order() {
+        let dir = tmpdir("replay");
+        {
+            let (mut store, rec) = open(&dir);
+            assert!(rec.frames.is_empty() && rec.checkpoint.is_none());
+            let seq = store.begin().unwrap();
+            store
+                .log_create("t", &[("a".into(), DataType::Integer)])
+                .unwrap();
+            store.commit(seq).unwrap();
+            let seq = store.begin().unwrap();
+            store.log_insert("t", &[vec![Value::Int(7)]]).unwrap();
+            store.commit(seq).unwrap();
+        }
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.frames.len(), 2);
+        assert_eq!(rec.frames[0].seq, 1);
+        assert!(matches!(&rec.frames[0].ops[0], WalOp::CreateTable { name, .. } if name == "t"));
+        assert!(matches!(
+            &rec.frames[1].ops[0],
+            WalOp::Insert { rows, .. } if rows == &vec![vec![Value::Int(7)]]
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_frame_is_invisible() {
+        let dir = tmpdir("uncommitted");
+        {
+            let (mut store, _) = open(&dir);
+            let seq = store.begin().unwrap();
+            store.log_drop("t").unwrap();
+            store.commit(seq).unwrap();
+            // Frame without a commit: simulates a crash mid-statement.
+            store.begin().unwrap();
+            store.log_drop("u").unwrap();
+        }
+        let (store, rec) = open(&dir);
+        assert_eq!(rec.frames.len(), 1);
+        assert!(matches!(&rec.frames[0].ops[0], WalOp::DropTable { name } if name == "t"));
+        // Recovery truncated the uncommitted tail.
+        assert_eq!(store.wal_len(), fs::metadata(dir.join(WAL_FILE)).unwrap().len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_corruption_stop_replay_cleanly() {
+        let dir = tmpdir("torn");
+        {
+            let (mut store, _) = open(&dir);
+            for i in 0..3 {
+                let seq = store.begin().unwrap();
+                store.log_insert("t", &[vec![Value::Int(i)]]).unwrap();
+                store.commit(seq).unwrap();
+            }
+        }
+        let wal = dir.join(WAL_FILE);
+        let full = fs::read(&wal).unwrap();
+        // Truncate at every byte boundary: replay must never error and
+        // must recover a prefix of the three frames.
+        for cut in 0..full.len() {
+            fs::write(&wal, &full[..cut]).unwrap();
+            let (_, rec) = open(&dir);
+            assert!(rec.frames.len() <= 3);
+            for (i, f) in rec.frames.iter().enumerate() {
+                assert_eq!(f.seq, i as u64 + 1);
+            }
+        }
+        // Flip a byte mid-file: replay stops at the corruption.
+        fs::write(&wal, &full).unwrap();
+        let mut corrupted = full.clone();
+        corrupted[full.len() / 2] ^= 0xFF;
+        fs::write(&wal, &corrupted).unwrap();
+        let (_, rec) = open(&dir);
+        assert!(rec.frames.len() < 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_covers_and_truncates() {
+        let dir = tmpdir("ckpt");
+        let budget = MemoryBudget::unlimited();
+        {
+            let (mut store, _) = open(&dir);
+            let seq = store.begin().unwrap();
+            store
+                .log_create("t", &[("a".into(), DataType::Integer)])
+                .unwrap();
+            store.commit(seq).unwrap();
+
+            let mut t = Table::new(
+                "t",
+                vec![("a".into(), DataType::Integer)],
+                budget.clone(),
+            );
+            t.insert_rows(vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+            store.checkpoint(&[&t]).unwrap();
+            assert_eq!(store.wal_len(), 0);
+
+            // One more statement after the checkpoint.
+            let seq = store.begin().unwrap();
+            store.log_insert("t", &[vec![Value::Int(3)]]).unwrap();
+            store.commit(seq).unwrap();
+        }
+        let (_, rec) = open(&dir);
+        let (seq, tables) = rec.checkpoint.expect("checkpoint written");
+        assert_eq!(seq, 1);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        // Only the post-checkpoint frame replays.
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].seq, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_a_typed_error() {
+        let dir = tmpdir("badckpt");
+        {
+            let (mut store, _) = open(&dir);
+            let t = Table::new(
+                "t",
+                vec![("a".into(), DataType::Integer)],
+                MemoryBudget::unlimited(),
+            );
+            let seq = store.begin().unwrap();
+            store.log_create("t", &[("a".into(), DataType::Integer)]).unwrap();
+            store.commit(seq).unwrap();
+            store.checkpoint(&[&t]).unwrap();
+        }
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut img = fs::read(&path).unwrap();
+        let mid = img.len() / 2;
+        img[mid] ^= 0xFF;
+        fs::write(&path, &img).unwrap();
+        let err = DurableStore::open(&dir, FsyncPolicy::Commit, FaultInjector::none())
+            .unwrap_err();
+        assert!(matches!(err, Error::Io(m) if m.contains("checksum")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

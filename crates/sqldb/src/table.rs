@@ -32,8 +32,12 @@
 //! first chunk the budget refuses. The mutation stays all-or-nothing: the
 //! table is only touched after every chunk is packed *and* charged, and on
 //! failure the staged reservation drops, leaving table and ledger exactly
-//! as they were. Deletes only rebuild surviving chunks and only ever shrink
-//! the charge, so they cannot fail against a full budget.
+//! as they were. Deletes rebuild only surviving chunks, charging each
+//! rebuilt chunk through the same streaming scheme — in **overdraft** mode,
+//! since the net effect of a delete only ever shrinks the charge and must
+//! not fail against a full budget; the transient survivor copies still land
+//! on the ledger while they exist, so concurrent reservations see honest
+//! usage.
 
 use std::sync::Arc;
 
@@ -115,6 +119,27 @@ impl TableSnapshot {
         }
         out
     }
+}
+
+/// How [`Table::pack_chunks_charged`] bills each sealed chunk.
+enum ChunkCharge<'a> {
+    /// Reserve against the budget limit; refusals abort the mutation
+    /// (insert path). `credit` offsets storage the mutation replaces.
+    Strict { staged: &'a mut Reservation, credit: usize },
+    /// Charge unconditionally past the limit (delete re-pack: the net
+    /// effect only shrinks, so the rebuild must not fail).
+    Overdraft { staged: &'a mut Reservation },
+}
+
+/// A table's pre-statement state, captured in O(1) via the copy-on-write
+/// chunk list. The durable path takes one before applying a statement so a
+/// failed WAL commit can roll the in-memory table back to exactly what the
+/// log (and therefore recovery) knows.
+#[derive(Debug)]
+pub(crate) struct TableUndo {
+    chunks: Arc<Vec<TableChunk>>,
+    rows: usize,
+    bytes: usize,
 }
 
 /// A base table: declared columns plus chunked columnar row storage.
@@ -255,7 +280,7 @@ impl Table {
             open,
             open_rows,
             rows,
-            Some((&mut staged, replaced_bytes)),
+            ChunkCharge::Strict { staged: &mut staged, credit: replaced_bytes },
         )?;
 
         // All chunks packed and charged: commit. Dropping `staged` on the
@@ -272,32 +297,34 @@ impl Table {
     }
 
     /// Pack `rows` into sealed chunks, continuing from an open builder set
-    /// holding `open_rows` rows already. With `charge` set, each chunk
-    /// reserves its bytes (minus any remaining `credit` for storage it
-    /// replaces) the moment it seals; a refused reservation aborts packing
-    /// with [`Error::OutOfMemory`]. Deletes pass `None`: they only ever
-    /// shrink the table's charge.
+    /// holding `open_rows` rows already. Each chunk charges its bytes the
+    /// moment it seals, per the [`ChunkCharge`] mode: `Strict` (inserts)
+    /// reserves against the limit — minus any remaining `credit` for
+    /// storage it replaces — and aborts packing with
+    /// [`Error::OutOfMemory`] when refused; `Overdraft` (delete re-pack)
+    /// always succeeds but still lands the transient bytes on the ledger.
     fn pack_chunks_charged(
         &self,
         mut open: Vec<Column>,
         mut open_rows: usize,
         rows: Vec<Row>,
-        mut charge: Option<(&mut Reservation, usize)>,
+        mut charge: ChunkCharge<'_>,
     ) -> Result<Vec<TableChunk>> {
         let mut sealed: Vec<TableChunk> = Vec::new();
-        let mut seal = |chunk: TableChunk,
-                        charge: &mut Option<(&mut Reservation, usize)>|
-         -> Result<()> {
-            if let Some((reservation, credit)) = charge {
-                let bytes = chunk.heap_bytes();
-                let billed = bytes.saturating_sub(*credit);
-                *credit -= bytes.min(*credit);
-                if !reservation.try_grow(billed) {
-                    return Err(Error::OutOfMemory {
-                        requested: billed,
-                        budget: reservation.budget().limit(),
-                    });
+        let mut seal = |chunk: TableChunk, charge: &mut ChunkCharge<'_>| -> Result<()> {
+            let bytes = chunk.heap_bytes();
+            match charge {
+                ChunkCharge::Strict { staged, credit } => {
+                    let billed = bytes.saturating_sub(*credit);
+                    *credit -= bytes.min(*credit);
+                    if !staged.try_grow(billed) {
+                        return Err(Error::OutOfMemory {
+                            requested: billed,
+                            budget: staged.budget().limit(),
+                        });
+                    }
                 }
+                ChunkCharge::Overdraft { staged } => staged.grow_overdraft(bytes),
             }
             sealed.push(chunk);
             Ok(())
@@ -361,26 +388,62 @@ impl Table {
             return Ok(0);
         }
 
-        // Phase 2: rebuild only the chunks that lost rows.
+        // Phase 2: rebuild only the chunks that lost rows. Rebuilt chunks
+        // charge a staged overdraft reservation as they seal (streaming
+        // reserve-as-you-pack, like inserts) so the transient survivor
+        // copies are visible on the ledger; overdraft mode keeps the delete
+        // infallible against a full budget.
+        let mut staged = Reservation::empty(self.reservation.budget());
+        let mut replaced_bytes = 0usize;
         let mut rebuilt: Vec<TableChunk> = Vec::with_capacity(self.chunks.len());
         for (chunk, survivors) in self.chunks.iter().zip(survivors_by_chunk) {
             match survivors {
                 None => rebuilt.push(chunk.clone()),
-                Some(rows) if rows.is_empty() => {}
-                Some(rows) => rebuilt.extend(
-                    self.pack_chunks_charged(self.empty_builders(), 0, rows, None)
-                        .expect("uncharged packing cannot fail"),
-                ),
+                Some(rows) if rows.is_empty() => replaced_bytes += chunk.heap_bytes(),
+                Some(rows) => {
+                    replaced_bytes += chunk.heap_bytes();
+                    rebuilt.extend(self.pack_chunks_charged(
+                        self.empty_builders(),
+                        0,
+                        rows,
+                        ChunkCharge::Overdraft { staged: &mut staged },
+                    )?);
+                }
             }
         }
-        let new_bytes: usize = rebuilt.iter().map(TableChunk::heap_bytes).sum();
-        let old_bytes = self.reservation.bytes();
         self.rows -= removed;
         self.chunks = Arc::new(rebuilt);
-        // A delete can only shrink the charge (never re-reserves), so it
-        // cannot fail against a full budget.
-        self.reservation.shrink(old_bytes.saturating_sub(new_bytes));
+        // Commit the staged charge, then release the replaced chunks'
+        // bytes: the net change is `new survivor bytes − replaced bytes`,
+        // which never grows the charge past what phase 1 started with.
+        self.reservation.adopt(staged);
+        self.reservation.shrink(replaced_bytes);
         Ok(removed)
+    }
+
+    /// Capture this table's pre-statement state in O(1) (shared chunk
+    /// list). See [`TableUndo`].
+    pub(crate) fn undo_state(&self) -> TableUndo {
+        TableUndo {
+            chunks: Arc::clone(&self.chunks),
+            rows: self.rows,
+            bytes: self.reservation.bytes(),
+        }
+    }
+
+    /// Roll the table back to a previously captured [`TableUndo`]. The
+    /// budget charge is re-aligned to the captured value — shrinking after
+    /// an undone insert, growing (overdraft, infallible) after an undone
+    /// delete.
+    pub(crate) fn restore(&mut self, undo: TableUndo) {
+        self.chunks = undo.chunks;
+        self.rows = undo.rows;
+        let cur = self.reservation.bytes();
+        if cur > undo.bytes {
+            self.reservation.shrink(cur - undo.bytes);
+        } else {
+            self.reservation.grow_overdraft(undo.bytes - cur);
+        }
     }
 
     /// Release all budget held by this table and drop its chunk list early.

@@ -1,0 +1,168 @@
+//! Spill-path fault injection: an injected I/O failure (ENOSPC-style) in
+//! the middle of a spilling sort, aggregate, or join must surface as a
+//! typed [`qymera_sqldb::Error::Io`], leave zero residue in the memory
+//! ledger, leave no orphan spill files, and leave the database fully
+//! usable — the same query retried without the fault succeeds.
+//!
+//! The whole file is debug-only: the fault injector compiles to a
+//! passthrough in release builds, so these schedules could never fire.
+#![cfg(debug_assertions)]
+
+use qymera_sqldb::storage::fault::{FaultKind, FaultSite};
+use qymera_sqldb::{Database, Error, Value};
+
+/// A memory-limited database whose `big` table (60k rows) fits the budget
+/// but whose sorts and wide aggregations do not — every scenario query
+/// below is forced through the spill paths.
+fn scenario_db(parallelism: usize) -> Database {
+    let mut db = Database::with_memory_limit(2 * 1024 * 1024);
+    db.set_parallelism(parallelism);
+    db.execute("CREATE TABLE big (k INTEGER, v DOUBLE)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..60_000)
+        .map(|i| vec![Value::Int((i * 7919) % 20_000), Value::Float((i % 97) as f64 / 8.0)])
+        .collect();
+    db.insert_rows("big", rows).unwrap();
+    db.execute("CREATE TABLE dim (k INTEGER, w DOUBLE)").unwrap();
+    let dim: Vec<Vec<Value>> =
+        (0..64).map(|k| vec![Value::Int(k as i64), Value::Float(2.0)]).collect();
+    db.insert_rows("dim", dim).unwrap();
+    db
+}
+
+const SORT_SQL: &str = "SELECT k, v FROM big ORDER BY v DESC, k";
+const AGG_SQL: &str = "SELECT k, SUM(v) AS t FROM big GROUP BY k ORDER BY k";
+// Every probe row matches one dim row, so the join's full 60k-row output
+// flows into a 20k-group aggregation that must spill under the budget.
+const JOIN_SQL: &str = "SELECT b.k, SUM(b.v * d.w) AS t FROM big b \
+                        JOIN dim d ON d.k = (b.k & 63) GROUP BY b.k ORDER BY b.k";
+
+/// Arm a one-shot fault, run `sql`, and require: a typed injected error,
+/// a ledger holding exactly the base tables, an empty spill directory,
+/// and a clean retry (the schedule disarms after firing) that does spill.
+fn assert_clean_failure_then_recovery(
+    db: &mut Database,
+    sql: &str,
+    site: FaultSite,
+    nth: u64,
+    kind: FaultKind,
+) {
+    db.fault_injector().arm_nth(Some(site), nth, kind);
+    let err = db.execute(sql).unwrap_err();
+    assert!(
+        matches!(err, Error::Io(ref m) if m.contains("injected")),
+        "{site:?}/{kind:?} op {nth}: expected the injected error, got {err:?}"
+    );
+    assert_eq!(
+        db.budget().used(),
+        db.table_bytes(),
+        "{site:?}/{kind:?} op {nth}: memory ledger residue after error"
+    );
+    assert_eq!(
+        db.live_spill_files(),
+        0,
+        "{site:?}/{kind:?} op {nth}: orphan spill files after error"
+    );
+    let spilled_before = db.stats().spill_files;
+    let rs = db.execute(sql).unwrap();
+    assert!(!rs.rows().is_empty(), "retry must produce rows");
+    assert!(
+        db.stats().spill_files > spilled_before,
+        "retry was expected to exercise the spill path"
+    );
+    assert_eq!(db.budget().used(), db.table_bytes(), "ledger residue after retry");
+    assert_eq!(db.live_spill_files(), 0, "orphan spill files after retry");
+}
+
+#[test]
+fn spill_write_failure_is_clean_on_every_operator() {
+    for parallelism in [1usize, 4] {
+        for sql in [SORT_SQL, AGG_SQL, JOIN_SQL] {
+            let mut db = scenario_db(parallelism);
+            assert_clean_failure_then_recovery(
+                &mut db,
+                sql,
+                FaultSite::SpillWrite,
+                1,
+                FaultKind::Error,
+            );
+        }
+    }
+}
+
+#[test]
+fn spill_read_failure_is_clean_on_every_operator() {
+    for parallelism in [1usize, 4] {
+        for sql in [SORT_SQL, AGG_SQL, JOIN_SQL] {
+            let mut db = scenario_db(parallelism);
+            assert_clean_failure_then_recovery(
+                &mut db,
+                sql,
+                FaultSite::SpillRead,
+                1,
+                FaultKind::Error,
+            );
+        }
+    }
+}
+
+/// A torn spill write (power-cut emulation: half the record lands) must be
+/// indistinguishable from a clean failure at the statement level — the
+/// half-written file is removed with the rest of the run.
+#[test]
+fn torn_spill_write_is_clean() {
+    for parallelism in [1usize, 4] {
+        let mut db = scenario_db(parallelism);
+        assert_clean_failure_then_recovery(
+            &mut db,
+            SORT_SQL,
+            FaultSite::SpillWrite,
+            3,
+            FaultKind::Torn,
+        );
+    }
+}
+
+/// Fail mid-stream rather than on the first operation: learn the clean
+/// run's spill-write count, then inject at the halfway point, where run
+/// files already exist and must all be reclaimed.
+#[test]
+fn midstream_spill_write_failure_is_clean() {
+    let ops = {
+        let mut db = scenario_db(1);
+        db.execute(SORT_SQL).unwrap();
+        db.fault_injector().ops(FaultSite::SpillWrite)
+    };
+    assert!(ops > 4, "sort did not spill enough to test midstream failure");
+    for parallelism in [1usize, 4] {
+        let mut db = scenario_db(parallelism);
+        assert_clean_failure_then_recovery(
+            &mut db,
+            SORT_SQL,
+            FaultSite::SpillWrite,
+            ops / 2,
+            FaultKind::Error,
+        );
+    }
+}
+
+/// Seeded random faulting as a soak: whatever fails, the invariants hold
+/// and the database stays usable once the schedule is disarmed.
+#[test]
+fn seeded_fault_soak_preserves_invariants() {
+    let mut db = scenario_db(4);
+    db.fault_injector().arm_seeded(0xDEAD_BEEF, 64, FaultKind::Error);
+    for _ in 0..8 {
+        match db.execute(AGG_SQL) {
+            Ok(rs) => assert!(!rs.rows().is_empty()),
+            Err(e) => assert!(
+                matches!(e, Error::Io(ref m) if m.contains("injected")),
+                "unexpected error under seeded faults: {e:?}"
+            ),
+        }
+        assert_eq!(db.budget().used(), db.table_bytes(), "ledger residue");
+        assert_eq!(db.live_spill_files(), 0, "orphan spill files");
+    }
+    db.fault_injector().disarm();
+    let rs = db.execute(AGG_SQL).unwrap();
+    assert_eq!(rs.rows().len(), 20_000, "one group per distinct key");
+}

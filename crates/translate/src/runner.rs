@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use qymera_circuit::{c64, Complex64, QuantumCircuit};
 use qymera_sim::{SimError, SimOptions, SimOutput, Simulator};
-use qymera_sqldb::{Database, DbStats, Error as SqlError, Value};
+use qymera_sqldb::{Database, DbStats, DurabilityOptions, Error as SqlError, MemoryBudget, Value};
 
 use crate::fusion::lower_circuit;
 use crate::sqlgen::{circuit_query, state_table_name, step_statement, SqlGenConfig};
@@ -52,6 +52,11 @@ pub struct SqlSimConfig {
     /// `QYMERA_PARALLELISM` environment variable); `Some(1)` forces fully
     /// sequential execution.
     pub parallelism: Option<usize>,
+    /// Open the engine on a persistent on-disk database at this directory
+    /// (write-ahead logged, checkpointed, crash-recoverable) instead of the
+    /// default in-memory store. Gate and state tables are replaced on rerun,
+    /// so pointing repeated simulations at one directory is safe.
+    pub db_path: Option<std::path::PathBuf>,
 }
 
 /// One amplitude of the final state as the engine returned it. The basis
@@ -123,10 +128,19 @@ impl SqlSimulator {
         Self::new(SqlSimConfig::default())
     }
 
-    fn make_db(&self) -> Database {
-        let mut db = match self.config.memory_limit {
-            Some(limit) => Database::with_memory_limit(limit),
-            None => Database::new(),
+    fn make_db(&self) -> Result<Database, SimError> {
+        let mut db = match &self.config.db_path {
+            Some(dir) => {
+                let mut opts = DurabilityOptions::default();
+                if let Some(limit) = self.config.memory_limit {
+                    opts.budget = MemoryBudget::with_limit(limit);
+                }
+                Database::open_with(dir, opts).map_err(map_sql_error)?
+            }
+            None => match self.config.memory_limit {
+                Some(limit) => Database::with_memory_limit(limit),
+                None => Database::new(),
+            },
         };
         if self.config.row_engine {
             db.set_exec_path(qymera_sqldb::ExecPath::Row);
@@ -134,7 +148,7 @@ impl SqlSimulator {
         if let Some(n) = self.config.parallelism {
             db.set_parallelism(n);
         }
-        db
+        Ok(db)
     }
 
     fn lower(&self, circuit: &QuantumCircuit) -> (GateTableRegistry, Vec<GateOp>) {
@@ -155,7 +169,7 @@ impl SqlSimulator {
     /// the Output Layer's performance metrics at operator granularity.
     pub fn profile(&self, circuit: &QuantumCircuit) -> Result<String, SimError> {
         let (reg, ops) = self.lower(circuit);
-        let mut db = self.make_db();
+        let mut db = self.make_db()?;
         reg.materialize(&mut db).map_err(map_sql_error)?;
         create_initial_state_table(&mut db, "T0", circuit.num_qubits, 0)
             .map_err(map_sql_error)?;
@@ -166,7 +180,7 @@ impl SqlSimulator {
     /// Run the circuit and return the final state plus engine statistics.
     pub fn run(&self, circuit: &QuantumCircuit) -> Result<SqlRunResult, SimError> {
         let (reg, ops) = self.lower(circuit);
-        let mut db = self.make_db();
+        let mut db = self.make_db()?;
         reg.materialize(&mut db).map_err(map_sql_error)?;
         create_initial_state_table(&mut db, "T0", circuit.num_qubits, 0)
             .map_err(map_sql_error)?;
@@ -207,7 +221,7 @@ impl SqlSimulator {
         circuit: &QuantumCircuit,
     ) -> Result<Vec<Vec<SqlAmplitude>>, SimError> {
         let (reg, ops) = self.lower(circuit);
-        let mut db = self.make_db();
+        let mut db = self.make_db()?;
         reg.materialize(&mut db).map_err(map_sql_error)?;
         create_initial_state_table(&mut db, "T0", circuit.num_qubits, 0)
             .map_err(map_sql_error)?;

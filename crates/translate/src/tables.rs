@@ -117,8 +117,11 @@ impl GateTableRegistry {
     }
 
     /// `CREATE TABLE` + bulk-load every registered gate table into `db`.
+    /// Pre-existing tables of the same name are replaced, so re-running a
+    /// circuit against a persistent database stays idempotent.
     pub fn materialize(&self, db: &mut Database) -> SqlResult<()> {
         for (name, entries) in &self.tables {
+            db.drop_table_if_exists(name)?;
             db.execute(&format!(
                 "CREATE TABLE {name} (in_s INTEGER, out_s INTEGER, r DOUBLE, i DOUBLE)"
             ))?;
@@ -148,6 +151,7 @@ pub fn create_initial_state_table(
     basis: u64,
 ) -> SqlResult<StateEncoding> {
     let enc = StateEncoding::for_qubits(num_qubits);
+    db.drop_table_if_exists(name)?;
     db.execute(&format!(
         "CREATE TABLE {name} (s {}, r DOUBLE, i DOUBLE)",
         enc.sql_type()
@@ -169,6 +173,7 @@ pub fn create_state_table_from(
     amplitudes: &[(u64, Complex64)],
 ) -> SqlResult<StateEncoding> {
     let enc = StateEncoding::for_qubits(num_qubits);
+    db.drop_table_if_exists(name)?;
     db.execute(&format!(
         "CREATE TABLE {name} (s {}, r DOUBLE, i DOUBLE)",
         enc.sql_type()
