@@ -1,0 +1,137 @@
+//! Standalone differential-fuzz driver for nightly CI and local soak
+//! runs. Unlike the pinned-corpus tests, this keeps going after a
+//! failure: every discrepancy is shrunk, written as a repro file, and
+//! counted, and the process exits nonzero if anything fired.
+//!
+//! ```text
+//! qymera-fuzz [--seed N] [--cases N] [--circuits N] [--faults N] [--out DIR]
+//! ```
+//!
+//! Defaults: seed from `QYMERA_CHECK_SEED` (else 0xC0FFEE), 500 SQL
+//! cases, 50 circuits, 50 fault schedules, repros into
+//! `QYMERA_CHECK_REPRO_DIR` (else `target/check-repros`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qymera_check::generator::SqlCase;
+use qymera_check::oracle::run_sql_case_all_oracles;
+use qymera_check::{CircuitCase, Repro};
+use qymera_sqldb::FaultSchedule;
+
+struct Args {
+    seed: u64,
+    cases: usize,
+    circuits: usize,
+    faults: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: qymera_check::base_seed(),
+        cases: qymera_check::case_count(500),
+        circuits: 50,
+        faults: 50,
+        out: qymera_check::repro_dir(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cases" => args.cases = value()?.parse().map_err(|e| format!("--cases: {e}"))?,
+            "--circuits" => {
+                args.circuits = value()?.parse().map_err(|e| format!("--circuits: {e}"))?
+            }
+            "--faults" => args.faults = value()?.parse().map_err(|e| format!("--faults: {e}"))?,
+            "--out" => args.out = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qymera-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+
+    println!(
+        "qymera-fuzz: seed {:#x}, {} SQL cases, {} circuits, {} fault schedules",
+        args.seed, args.cases, args.circuits, args.faults
+    );
+
+    for i in 0..args.cases {
+        let seed = args.seed.wrapping_add(i as u64);
+        let case = SqlCase::generate(seed);
+        if let Some(d) = run_sql_case_all_oracles(&case) {
+            failures += 1;
+            let small = qymera_check::shrink_sql_case(&case, |c| {
+                run_sql_case_all_oracles(c).is_some()
+            });
+            let repro = Repro::from_sql_case(&small, "all-oracles", FaultSchedule::None);
+            match repro.write_into(&args.out) {
+                Ok(path) => eprintln!("FAIL {d}\n  repro: {}", path.display()),
+                Err(e) => eprintln!("FAIL {d}\n  (repro write failed: {e})"),
+            }
+        }
+        if let Some(d) = qymera_check::meta::run_metamorphic_case(&case) {
+            failures += 1;
+            let small = qymera_check::shrink_sql_case(&case, |c| {
+                qymera_check::meta::run_metamorphic_case(c).is_some()
+            });
+            let repro = Repro::from_sql_case(&small, &d.oracle, FaultSchedule::None);
+            match repro.write_into(&args.out) {
+                Ok(path) => eprintln!("FAIL {d}\n  repro: {}", path.display()),
+                Err(e) => eprintln!("FAIL {d}\n  (repro write failed: {e})"),
+            }
+        }
+    }
+
+    for i in 0..args.circuits {
+        let seed = args.seed.wrapping_add(0x5149_5243).wrapping_add(i as u64);
+        let case = CircuitCase::generate(seed);
+        if let Some(d) = qymera_check::run_circuit_case(&case) {
+            failures += 1;
+            let small = qymera_check::shrink_circuit_case(&case, |c| {
+                qymera_check::run_circuit_case(c).is_some()
+            });
+            eprintln!(
+                "FAIL {d}\n  shrunk to {} gates on {} qubits (seed {seed:#x})",
+                small.gates.len(),
+                small.qubits
+            );
+        }
+    }
+
+    for i in 0..args.faults {
+        let seed = args.seed.wrapping_add(0xFA17).wrapping_add(i as u64);
+        if let Some(d) = qymera_check::run_fault_schedule_case(seed) {
+            failures += 1;
+            let case = SqlCase::generate(seed);
+            let repro = Repro::from_sql_case(
+                &case,
+                "fault-schedule",
+                qymera_check::faultfuzz::derived_schedule(seed),
+            );
+            match repro.write_into(&args.out) {
+                Ok(path) => eprintln!("FAIL {d}\n  repro: {}", path.display()),
+                Err(e) => eprintln!("FAIL {d}\n  (repro write failed: {e})"),
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!("qymera-fuzz: all clear");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("qymera-fuzz: {failures} failure(s); repros in {}", args.out.display());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,194 @@
+//! Differential fuzzing of the translate path: random circuits run
+//! through the SQL backend (single-query, row-engine, and step-table
+//! modes) and cross-checked against the native simulator backends
+//! (statevector, MPS, decision diagram) amplitude-by-amplitude.
+//!
+//! Rotation angles are dyadic multiples of π/8 — enough to produce dense,
+//! interfering states while keeping every backend well inside the
+//! comparison tolerance.
+
+use qymera_circuit::{Gate, GateKind, QuantumCircuit};
+use qymera_sim::{DdSim, MpsSim, SimOptions, SimOutput, Simulator, StateVectorSim};
+use qymera_translate::{ExecMode, SqlSimConfig, SqlSimulator};
+
+use crate::generator::CaseRng;
+use crate::oracle::Discrepancy;
+
+/// Maximum |Δamplitude| tolerated between any two backends (after global
+/// phase alignment). All backends are double precision; circuits are ≤ 32
+/// gates, so 1e-8 leaves ~7 digits of slack over accumulated rounding.
+pub const AMPLITUDE_TOL: f64 = 1e-8;
+
+/// A generated circuit case: the seed plus the explicit gate list (the
+/// shrinker edits the list directly, so it is not re-derived from the
+/// seed after generation).
+#[derive(Debug, Clone)]
+pub struct CircuitCase {
+    /// Seed this case was generated from.
+    pub seed: u64,
+    /// Register width.
+    pub qubits: usize,
+    /// Gate sequence.
+    pub gates: Vec<Gate>,
+}
+
+impl CircuitCase {
+    /// Generate the case for `seed`: 2–5 qubits, 4–24 gates drawn from
+    /// the full single/two/three-qubit gate table.
+    pub fn generate(seed: u64) -> CircuitCase {
+        let mut rng = CaseRng::new(seed ^ 0x0C1C_0C1C);
+        let qubits = rng.range(2, 5) as usize;
+        let ngates = rng.range(4, 24) as usize;
+        let gates = (0..ngates).map(|_| gen_gate(&mut rng, qubits)).collect();
+        CircuitCase { seed, qubits, gates }
+    }
+
+    /// Materialize as a [`QuantumCircuit`].
+    pub fn circuit(&self) -> QuantumCircuit {
+        let mut c = QuantumCircuit::new(self.qubits);
+        for g in &self.gates {
+            c.push(g.clone()).expect("generated gates are valid");
+        }
+        c
+    }
+}
+
+/// A dyadic rotation angle: k·π/8 for k ∈ [-8, 8].
+fn angle(rng: &mut CaseRng) -> f64 {
+    rng.range(-8, 8) as f64 * std::f64::consts::FRAC_PI_8
+}
+
+/// `n` distinct qubit indices below `qubits`.
+fn distinct_qubits(rng: &mut CaseRng, qubits: usize, n: usize) -> Vec<usize> {
+    let mut picked: Vec<usize> = Vec::with_capacity(n);
+    while picked.len() < n {
+        let q = rng.below(qubits as u64) as usize;
+        if !picked.contains(&q) {
+            picked.push(q);
+        }
+    }
+    picked
+}
+
+fn gen_gate(rng: &mut CaseRng, qubits: usize) -> Gate {
+    use GateKind::*;
+    // Weighted pool: entangling and rotation gates dominate so states are
+    // dense and phases matter.
+    let pool: &[GateKind] = if qubits >= 3 {
+        &[H, H, X, Y, Z, S, Sdg, T, Tdg, SqrtX, Rx, Ry, Rz, Phase, U3, Cx, Cx, Cy, Cz, Ch, CPhase, CRx, CRy, CRz, Swap, Ccx, CSwap]
+    } else {
+        &[H, H, X, Y, Z, S, Sdg, T, Tdg, SqrtX, Rx, Ry, Rz, Phase, U3, Cx, Cx, Cy, Cz, Ch, CPhase, CRx, CRy, CRz, Swap]
+    };
+    let kind = *rng.pick(pool);
+    let arity = match kind {
+        Ccx | CSwap => 3,
+        Cx | Cy | Cz | Ch | CPhase | CRx | CRy | CRz | Swap => 2,
+        _ => 1,
+    };
+    let nparams = match kind {
+        U3 => 3,
+        Rx | Ry | Rz | Phase | CPhase | CRx | CRy | CRz => 1,
+        _ => 0,
+    };
+    let qs = distinct_qubits(rng, qubits, arity);
+    let params = (0..nparams).map(|_| angle(rng)).collect();
+    Gate::new(kind, qs, params)
+}
+
+/// The SQL-backend configurations a circuit case runs under.
+fn sql_backends() -> Vec<(&'static str, SqlSimulator)> {
+    vec![
+        ("sql-single", SqlSimulator::paper_default()),
+        (
+            "sql-row",
+            SqlSimulator::new(SqlSimConfig { row_engine: true, ..SqlSimConfig::default() }),
+        ),
+        (
+            "sql-step",
+            SqlSimulator::new(SqlSimConfig {
+                mode: ExecMode::StepTables,
+                ..SqlSimConfig::default()
+            }),
+        ),
+    ]
+}
+
+/// Run `case` through every SQL mode and native backend, comparing all
+/// outputs against the statevector reference within [`AMPLITUDE_TOL`].
+pub fn run_circuit_case(case: &CircuitCase) -> Option<Discrepancy> {
+    let circuit = case.circuit();
+    let opts = SimOptions::default();
+    let reference = match StateVectorSim.simulate(&circuit, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Discrepancy {
+                seed: case.seed,
+                oracle: "statevector".to_string(),
+                detail: format!("reference backend errored: {e}"),
+            })
+        }
+    };
+    let check = |name: &str, out: Result<SimOutput, qymera_sim::SimError>| {
+        let out = match out {
+            Ok(out) => out,
+            Err(e) => {
+                return Some(Discrepancy {
+                    seed: case.seed,
+                    oracle: name.to_string(),
+                    detail: format!("backend errored: {e}"),
+                })
+            }
+        };
+        let diff = reference.max_amplitude_diff(&out);
+        if diff > AMPLITUDE_TOL {
+            return Some(Discrepancy {
+                seed: case.seed,
+                oracle: format!("statevector vs {name}"),
+                detail: format!(
+                    "max amplitude difference {diff:.3e} exceeds {AMPLITUDE_TOL:.0e} \
+                     ({} qubits, {} gates)",
+                    case.qubits,
+                    case.gates.len()
+                ),
+            });
+        }
+        None
+    };
+    for (name, sim) in sql_backends() {
+        if let Some(d) = check(name, sim.simulate(&circuit, &opts)) {
+            return Some(d);
+        }
+    }
+    if let Some(d) = check("mps", MpsSim.simulate(&circuit, &opts)) {
+        return Some(d);
+    }
+    if let Some(d) = check("dd", DdSim.simulate(&circuit, &opts)) {
+        return Some(d);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..50 {
+            let a = CircuitCase::generate(seed);
+            let b = CircuitCase::generate(seed);
+            assert_eq!(a.gates, b.gates);
+            a.circuit(); // panics if any gate is invalid
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_a_small_sample() {
+        for seed in 0..4 {
+            let case = CircuitCase::generate(seed);
+            if let Some(d) = run_circuit_case(&case) {
+                panic!("unexpected circuit discrepancy: {d}");
+            }
+        }
+    }
+}

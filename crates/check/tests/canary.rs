@@ -1,0 +1,55 @@
+//! The mutation canary: with `--features canary` the batch executor's
+//! integer `>` fast lane deliberately behaves as `>=`. The harness must
+//! (a) detect the row-vs-batch discrepancy within the pinned corpus,
+//! (b) shrink the failing case to at most 5 SQL statements, and
+//! (c) emit a repro file that round-trips and still reproduces.
+//!
+//! This is the end-to-end proof that the fuzzing subsystem finds real
+//! operator bugs — a harness that never fires is worse than none.
+
+#![cfg(feature = "canary")]
+
+use qymera_check::generator::SqlCase;
+use qymera_check::oracle::{run_sql_case, SqlOracle};
+use qymera_check::{base_seed, repro_dir, Repro};
+use qymera_sqldb::FaultSchedule;
+
+/// Row vs batch is the cheapest pair that exposes the canary (the bug
+/// lives in the batch Int kernel only).
+fn row_vs_batch(case: &SqlCase) -> bool {
+    run_sql_case(case, &[SqlOracle::Row, SqlOracle::Batch]).is_some()
+}
+
+#[test]
+fn canary_is_found_shrunk_and_reproducible() {
+    let base = base_seed();
+    let mut found = None;
+    for i in 0..500u64 {
+        let case = SqlCase::generate(base.wrapping_add(i));
+        if row_vs_batch(&case) {
+            found = Some(case);
+            break;
+        }
+    }
+    let case = found.expect("the canary must surface within 500 pinned-seed cases");
+
+    let small = qymera_check::shrink_sql_case(&case, row_vs_batch);
+    assert!(row_vs_batch(&small), "shrinking must preserve the failure");
+    assert!(
+        small.statement_count() <= 5,
+        "canary must shrink to <= 5 statements, got {}:\n{:?}\n{}",
+        small.statement_count(),
+        small.setup_statements(),
+        small.query_sql()
+    );
+
+    let repro = Repro::from_sql_case(&small, "row-vs-batch", FaultSchedule::None);
+    let dir = repro_dir().join(format!("canary-{}", std::process::id()));
+    let path = repro.write_into(&dir).unwrap();
+    let back = Repro::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(
+        back.replay().is_some(),
+        "parsed repro must still reproduce under the canary build"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,6 +43,7 @@ pub use bigbits::BigBits;
 pub use db::{Database, DbStats, DurabilityOptions, ExecPath, ResultSet};
 pub use error::{Error, Result};
 pub use storage::budget::MemoryBudget;
+pub use storage::fault::{FaultInjector, FaultKind, FaultSchedule, FaultSite};
 pub use storage::wal::FsyncPolicy;
 pub use storage::spill::Row;
 pub use value::Value;

@@ -58,6 +58,20 @@ impl MemoryBudget {
         self.inner.peak.load(Ordering::Relaxed)
     }
 
+    /// High-water mark of bytes reserved **past the limit** — the bounded
+    /// operator overdraft (batch-granular budget checks, build-side floors,
+    /// parallel run-ahead channels). Always 0 for a ledger that never
+    /// exceeded its limit, and meaningless for an unlimited budget. The
+    /// differential-fuzz harness asserts this stays within the documented
+    /// ≤1-batch transient bound on memory-limited cases.
+    pub fn peak_overshoot(&self) -> usize {
+        let limit = self.inner.limit;
+        if limit == usize::MAX {
+            return 0;
+        }
+        self.peak().saturating_sub(limit)
+    }
+
     /// Try to reserve `bytes`; returns `false` if it would exceed the limit.
     #[must_use]
     pub fn try_reserve(&self, bytes: usize) -> bool {
@@ -227,6 +241,17 @@ mod tests {
             assert_eq!(b.used(), 50);
         }
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn peak_overshoot_measures_overdraft_past_the_limit() {
+        let b = MemoryBudget::with_limit(100);
+        assert!(b.try_reserve(90));
+        assert_eq!(b.peak_overshoot(), 0, "within limit");
+        b.reserve_overdraft(30);
+        b.release(120);
+        assert_eq!(b.peak_overshoot(), 20);
+        assert_eq!(MemoryBudget::unlimited().peak_overshoot(), 0);
     }
 
     #[test]

@@ -64,6 +64,37 @@ impl FaultSite {
     fn index(self) -> usize {
         ALL_FAULT_SITES.iter().position(|s| *s == self).expect("site listed")
     }
+
+    /// Stable textual name used by the round-trippable schedule syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::WalAppend => "WalAppend",
+            FaultSite::WalFsync => "WalFsync",
+            FaultSite::WalTruncate => "WalTruncate",
+            FaultSite::CheckpointWrite => "CheckpointWrite",
+            FaultSite::CheckpointFsync => "CheckpointFsync",
+            FaultSite::CheckpointRename => "CheckpointRename",
+            FaultSite::SpillWrite => "SpillWrite",
+            FaultSite::SpillRead => "SpillRead",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FaultSite {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        ALL_FAULT_SITES
+            .into_iter()
+            .find(|site| site.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| Error::Plan(format!("unknown fault site `{s}`")))
+    }
 }
 
 /// How an injected fault manifests.
@@ -74,6 +105,109 @@ pub enum FaultKind {
     /// Power-cut emulation: **half** of the buffer lands on disk, then the
     /// operation errors. Produces torn tails for recovery to tolerate.
     Torn,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Error => "error",
+            FaultKind::Torn => "torn",
+        })
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(FaultKind::Error),
+            "torn" => Ok(FaultKind::Torn),
+            other => Err(Error::Plan(format!("unknown fault kind `{other}`"))),
+        }
+    }
+}
+
+/// A declarative fault schedule, round-trippable through one line of text so
+/// a shrunk repro file fully reconstructs it (see [`FaultInjector::arm`]).
+///
+/// Syntax (case-insensitive site/kind names):
+///
+/// * `none` — quiescent, nothing fires.
+/// * `nth:<site|any>:<n>:<error|torn>` — one-shot: fail the `n`-th upcoming
+///   operation matching the site (mirrors [`FaultInjector::arm_nth`]).
+/// * `seeded:<seed>:<one_in>:<error|torn>` — fail roughly one in `one_in`
+///   operations from a deterministic xorshift stream (mirrors
+///   [`FaultInjector::arm_seeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// No faults fire.
+    None,
+    /// Fail the `nth` (1-based) operation matching `site` (`None` = any).
+    Nth {
+        /// Restrict to this site, or `None` for any site.
+        site: Option<FaultSite>,
+        /// 1-based index of the matching operation to fail.
+        nth: u64,
+        /// How the fault manifests.
+        kind: FaultKind,
+    },
+    /// Fail roughly one in `one_in` operations, seeded deterministically.
+    Seeded {
+        /// Seed of the xorshift decision stream.
+        seed: u64,
+        /// Average fail rate denominator (clamped to ≥ 1 when armed).
+        one_in: u64,
+        /// How the fault manifests.
+        kind: FaultKind,
+    },
+}
+
+impl std::fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSchedule::None => write!(f, "none"),
+            FaultSchedule::Nth { site, nth, kind } => match site {
+                Some(site) => write!(f, "nth:{site}:{nth}:{kind}"),
+                None => write!(f, "nth:any:{nth}:{kind}"),
+            },
+            FaultSchedule::Seeded { seed, one_in, kind } => {
+                write!(f, "seeded:{seed}:{one_in}:{kind}")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for FaultSchedule {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("none") {
+            return Ok(FaultSchedule::None);
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = || Error::Plan(format!("malformed fault schedule `{s}`"));
+        let int = |p: &str| p.parse::<u64>().map_err(|_| bad());
+        match parts.as_slice() {
+            [tag, site, nth, kind] if tag.eq_ignore_ascii_case("nth") => {
+                let site = if site.eq_ignore_ascii_case("any") {
+                    None
+                } else {
+                    Some(site.parse::<FaultSite>()?)
+                };
+                Ok(FaultSchedule::Nth { site, nth: int(nth)?, kind: kind.parse()? })
+            }
+            [tag, seed, one_in, kind] if tag.eq_ignore_ascii_case("seeded") => Ok(
+                FaultSchedule::Seeded {
+                    seed: int(seed)?,
+                    one_in: int(one_in)?,
+                    kind: kind.parse()?,
+                },
+            ),
+            _ => Err(bad()),
+        }
+    }
 }
 
 /// The armed failure schedule (debug builds only).
@@ -140,6 +274,18 @@ impl FaultInjector {
         }
         #[cfg(not(debug_assertions))]
         let _ = (seed, one_in, kind);
+    }
+
+    /// Arm a declarative [`FaultSchedule`] (the round-trippable form used
+    /// by repro files). [`FaultSchedule::None`] disarms. No-op in release.
+    pub fn arm(&self, schedule: FaultSchedule) {
+        match schedule {
+            FaultSchedule::None => self.disarm(),
+            FaultSchedule::Nth { site, nth, kind } => self.arm_nth(site, nth, kind),
+            FaultSchedule::Seeded { seed, one_in, kind } => {
+                self.arm_seeded(seed, one_in, kind)
+            }
+        }
     }
 
     /// Remove any armed schedule (counters keep running).
@@ -310,6 +456,46 @@ mod tests {
         let e = inj.write_all(FaultSite::WalAppend, &mut sink, b"12345678").unwrap_err();
         assert!(matches!(e, Error::Io(_)));
         assert_eq!(sink, b"1234", "half the bytes land before the cut");
+    }
+
+    #[test]
+    fn schedules_round_trip_through_display() {
+        let schedules = [
+            FaultSchedule::None,
+            FaultSchedule::Nth { site: None, nth: 3, kind: FaultKind::Error },
+            FaultSchedule::Nth {
+                site: Some(FaultSite::CheckpointRename),
+                nth: 1,
+                kind: FaultKind::Torn,
+            },
+            FaultSchedule::Seeded { seed: 0xDEAD_BEEF, one_in: 16, kind: FaultKind::Torn },
+        ];
+        for schedule in schedules {
+            let line = schedule.to_string();
+            let parsed: FaultSchedule = line.parse().unwrap();
+            assert_eq!(parsed, schedule, "round-trip of `{line}`");
+        }
+        // Every site name parses back to itself.
+        for site in ALL_FAULT_SITES {
+            assert_eq!(site.to_string().parse::<FaultSite>().unwrap(), site);
+        }
+        assert!("nth:NoSuchSite:1:error".parse::<FaultSchedule>().is_err());
+        assert!("seeded:x:16:error".parse::<FaultSchedule>().is_err());
+        assert!("garbage".parse::<FaultSchedule>().is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn parsed_schedule_arms_like_the_direct_call() {
+        let direct = FaultInjector::none();
+        direct.arm_nth(Some(FaultSite::SpillWrite), 2, FaultKind::Error);
+        let parsed = FaultInjector::none();
+        parsed.arm("nth:SpillWrite:2:error".parse().unwrap());
+        for inj in [&direct, &parsed] {
+            let mut sink = Vec::new();
+            inj.write_all(FaultSite::SpillWrite, &mut sink, b"aa").unwrap();
+            assert!(inj.write_all(FaultSite::SpillWrite, &mut sink, b"bb").is_err());
+        }
     }
 
     #[cfg(debug_assertions)]

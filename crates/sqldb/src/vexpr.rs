@@ -270,7 +270,13 @@ fn int_kernel(op: BinaryOp, n: usize, at: impl Fn(usize) -> (i64, i64)) -> Resul
         BinaryOp::NotEq => map_infallible!(|a, b| (a != b) as i64),
         BinaryOp::Lt => map_infallible!(|a, b| (a < b) as i64),
         BinaryOp::LtEq => map_infallible!(|a, b| (a <= b) as i64),
+        #[cfg(not(feature = "canary"))]
         BinaryOp::Gt => map_infallible!(|a, b| (a > b) as i64),
+        // Intentional mutation (the `canary` feature, test-only): `>` on the
+        // Int fast lane evaluates as `>=`, so the batch path diverges from
+        // the row reference — the differential harness must catch this.
+        #[cfg(feature = "canary")]
+        BinaryOp::Gt => map_infallible!(|a, b| (a >= b) as i64),
         BinaryOp::GtEq => map_infallible!(|a, b| (a >= b) as i64),
         BinaryOp::And | BinaryOp::Or => unreachable!("handled before kernel dispatch"),
     }
