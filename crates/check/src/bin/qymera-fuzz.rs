@@ -4,12 +4,13 @@
 //! counted, and the process exits nonzero if anything fired.
 //!
 //! ```text
-//! qymera-fuzz [--seed N] [--cases N] [--circuits N] [--faults N] [--out DIR]
+//! qymera-fuzz [--seed N] [--cases N] [--circuits N] [--faults N]
+//!             [--cancels N] [--out DIR]
 //! ```
 //!
 //! Defaults: seed from `QYMERA_CHECK_SEED` (else 0xC0FFEE), 500 SQL
-//! cases, 50 circuits, 50 fault schedules, repros into
-//! `QYMERA_CHECK_REPRO_DIR` (else `target/check-repros`).
+//! cases, 50 circuits, 50 fault schedules, 50 cancellation cases, repros
+//! into `QYMERA_CHECK_REPRO_DIR` (else `target/check-repros`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +25,7 @@ struct Args {
     cases: usize,
     circuits: usize,
     faults: usize,
+    cancels: usize,
     out: PathBuf,
 }
 
@@ -33,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         cases: qymera_check::case_count(500),
         circuits: 50,
         faults: 50,
+        cancels: 50,
         out: qymera_check::repro_dir(),
     };
     let mut it = std::env::args().skip(1);
@@ -45,6 +48,9 @@ fn parse_args() -> Result<Args, String> {
                 args.circuits = value()?.parse().map_err(|e| format!("--circuits: {e}"))?
             }
             "--faults" => args.faults = value()?.parse().map_err(|e| format!("--faults: {e}"))?,
+            "--cancels" => {
+                args.cancels = value()?.parse().map_err(|e| format!("--cancels: {e}"))?
+            }
             "--out" => args.out = PathBuf::from(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -63,8 +69,9 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
 
     println!(
-        "qymera-fuzz: seed {:#x}, {} SQL cases, {} circuits, {} fault schedules",
-        args.seed, args.cases, args.circuits, args.faults
+        "qymera-fuzz: seed {:#x}, {} SQL cases, {} circuits, {} fault schedules, \
+         {} cancellation cases",
+        args.seed, args.cases, args.circuits, args.faults, args.cancels
     );
 
     for i in 0..args.cases {
@@ -124,6 +131,15 @@ fn main() -> ExitCode {
                 Ok(path) => eprintln!("FAIL {d}\n  repro: {}", path.display()),
                 Err(e) => eprintln!("FAIL {d}\n  (repro write failed: {e})"),
             }
+        }
+    }
+
+    for i in 0..args.cancels {
+        let seed = args.seed.wrapping_add(0x00CA_9CE1).wrapping_add(i as u64);
+        if let Some(d) = qymera_check::run_cancel_case(seed) {
+            failures += 1;
+            let case = qymera_check::CancelCase::generate(seed);
+            eprintln!("FAIL {d}\n  case: {case:?} (re-run with --seed {seed})");
         }
     }
 

@@ -2,8 +2,10 @@
 //!
 //! Correctness tooling for the whole engine: one seed-deterministic
 //! generator, five independent oracles, a metamorphic-rewrite layer, an
-//! automatic shrinker, and fault-schedule fuzzing over the durability
-//! paths. See `docs/TESTING.md` for the workflow.
+//! automatic shrinker, fault-schedule fuzzing over the durability paths,
+//! and cancellation fuzzing over the query-lifecycle governance paths
+//! (seeded cancel points × worker counts × spill/WAL states). See
+//! `docs/TESTING.md` for the workflow.
 //!
 //! The five oracles every generated case can be cross-checked against:
 //!
@@ -26,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancelfuzz;
 pub mod circuits;
 pub mod faultfuzz;
 pub mod generator;
@@ -34,6 +37,7 @@ pub mod oracle;
 pub mod repro;
 pub mod shrink;
 
+pub use cancelfuzz::{run_cancel_case, CancelCase};
 pub use circuits::{run_circuit_case, CircuitCase};
 pub use faultfuzz::run_fault_schedule_case;
 pub use generator::{CaseRng, SqlCase};

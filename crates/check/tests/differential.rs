@@ -95,6 +95,17 @@ fn fault_schedules_hold_the_durability_contract() {
 }
 
 #[test]
+fn cancellation_corpus_holds_the_governance_contract() {
+    let base = base_seed() ^ 0xCA9C;
+    let n = case_count(20);
+    for i in 0..n {
+        if let Some(d) = qymera_check::run_cancel_case(base.wrapping_add(i as u64)) {
+            panic!("cancellation contract violated: {d}");
+        }
+    }
+}
+
+#[test]
 fn budget_overshoot_stays_within_one_batch() {
     let base = base_seed() ^ 0xB4D6;
     let n = case_count(30);

@@ -18,7 +18,61 @@ use std::process::ExitCode;
 use qymera_circuit::{json, library, qasm, QuantumCircuit};
 use qymera_core::{select_method, BackendKind, Engine};
 use qymera_sim::SimOptions;
-use qymera_translate::{SqlSimConfig, SqlSimulator};
+use qymera_translate::{CancelHandle, SqlSimConfig, SqlSimulator};
+
+/// Ctrl-C → cooperative cancellation of the SQL engine's statement in
+/// flight: the first SIGINT flips the shared [`CancelHandle`] (an atomic
+/// store, the only async-signal-safe thing a handler may do here) and the
+/// run winds down through the ordinary error path — ledger restored, spill
+/// files reclaimed, no partial WAL frame. A second SIGINT exits hard with
+/// the conventional 130 for users who will not wait for the drain.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    use qymera_translate::CancelHandle;
+
+    static HANDLE: OnceLock<CancelHandle> = OnceLock::new();
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if SEEN.swap(true, Ordering::Relaxed) {
+            unsafe { _exit(130) }
+        }
+        if let Some(h) = HANDLE.get() {
+            h.cancel();
+        }
+    }
+
+    /// Install the handler (idempotent) and return the shared handle.
+    pub fn install() -> CancelHandle {
+        let handle = HANDLE.get_or_init(CancelHandle::new).clone();
+        // SAFETY: on_sigint has the required `extern "C" fn(i32)` ABI and
+        // only touches lock-free atomics; registering it cannot race with
+        // anything that matters (worst case the old disposition runs once).
+        unsafe { signal(SIGINT, on_sigint as *const () as usize) };
+        handle
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use qymera_translate::CancelHandle;
+
+    /// No signal wiring off Unix; the handle still threads through so the
+    /// engine sees a (never-tripped) cancel flag.
+    pub fn install() -> CancelHandle {
+        CancelHandle::new()
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,8 +107,12 @@ fn usage() -> &'static str {
                         1 = fully sequential execution)\n\
        --db DIR         persist the SQL engine's state in DIR (write-ahead\n\
                         logged, crash-recoverable; default: in-memory)\n\
+       --timeout-ms MS  per-statement deadline for the SQL engine (or the\n\
+                        QYMERA_TIMEOUT_MS env var; 0/unset = none)\n\
        --shots N        samples for the `sample` command (default 1024)\n\
-       --top K          state rows to print (default 16)"
+       --top K          state rows to print (default 16)\n\
+     Ctrl-C cancels the SQL statement in flight cooperatively (engine\n\
+     rolled back cleanly); a second Ctrl-C exits immediately (130)."
 }
 
 fn opt(args: &[String], name: &str) -> Option<String> {
@@ -80,7 +138,18 @@ fn run(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let db_path = opt(args, "--db").map(std::path::PathBuf::from);
-    let sql_config = SqlSimConfig { parallelism: parallel, db_path, ..Default::default() };
+    let timeout_ms: Option<u64> = match opt(args, "--timeout-ms") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --timeout-ms value `{v}`"))?),
+        None => None,
+    };
+    let cancel: CancelHandle = sigint::install();
+    let sql_config = SqlSimConfig {
+        parallelism: parallel,
+        db_path,
+        timeout_ms,
+        cancel: Some(cancel),
+        ..Default::default()
+    };
     let sql_sim = SqlSimulator::new(sql_config.clone());
 
     match command.as_str() {

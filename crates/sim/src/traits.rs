@@ -23,6 +23,22 @@ pub enum SimError {
     Unsupported(String),
     /// Internal numerical failure (e.g. SVD non-convergence).
     Numerical(String),
+    /// The simulation was cancelled cooperatively (Ctrl-C or an explicit
+    /// cancel handle); partial work was rolled back by the backend.
+    Cancelled,
+    /// The simulation exceeded its configured deadline.
+    Timeout {
+        /// The configured deadline in milliseconds.
+        ms: u64,
+    },
+    /// The backend refused admission: too many concurrent runs against the
+    /// shared engine (or database directory). Transient — retry later.
+    Overloaded {
+        /// Grants (or slots) in use when admission was refused.
+        active: usize,
+        /// The configured concurrency limit.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -36,6 +52,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::Unsupported(m) => write!(f, "unsupported: {m}"),
             SimError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            SimError::Cancelled => write!(f, "simulation cancelled"),
+            SimError::Timeout { ms } => {
+                write!(f, "simulation timed out after {ms} ms")
+            }
+            SimError::Overloaded { active, max } => {
+                write!(f, "overloaded: {active} of {max} concurrent runs in use")
+            }
         }
     }
 }

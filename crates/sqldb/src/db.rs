@@ -16,6 +16,7 @@ use std::sync::Arc;
 use crate::ast::{DataType, Expr, Statement};
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
+use crate::exec::govern::{self, AdmissionController, CancelHandle, QueryContext};
 use crate::exec::vector::{build_batch_stream, BatchToRow};
 use crate::exec::{build_stream, ExecContext, RowStream};
 use crate::expr::bind;
@@ -180,6 +181,24 @@ pub struct Database {
     /// Fault-injection gate shared by every disk path (WAL, checkpoint,
     /// spill). A zero-cost passthrough in release builds.
     injector: Arc<FaultInjector>,
+    /// Session interrupt flag, exposed via [`Database::cancel_handle`] and
+    /// observed by every statement started while it is set.
+    interrupt: CancelHandle,
+    /// Per-statement deadline in milliseconds (`None` = no deadline).
+    timeout_ms: Option<u64>,
+    /// Per-query memory grant in bytes (`None` = the full global budget).
+    query_grant: Option<usize>,
+    /// Deterministic cancel injection: latch a cancel at the n-th
+    /// governance poll of each subsequent statement (tests/fuzzer knob).
+    cancel_after_polls: Option<u64>,
+    /// Bounded concurrent-statement admission (shareable across handles).
+    admission: AdmissionController,
+    /// Governance token of the statement in flight (or most recently run);
+    /// [`Database::ctx`] embeds a clone so operators can observe it.
+    query: QueryContext,
+    /// Process slot on the durable directory (`QYMERA_DB_SLOTS`); held for
+    /// the lifetime of the open, released (file removed) on drop.
+    _slot: Option<govern::SlotGuard>,
 }
 
 /// Configuration for [`Database::open_with`].
@@ -194,6 +213,9 @@ pub struct DurabilityOptions {
     /// Fault-injection gate for every disk path (tests arm schedules on
     /// it; production passes the default quiescent injector).
     pub injector: Arc<FaultInjector>,
+    /// Cap on processes concurrently opening this directory (lock files
+    /// under `<dir>/slots/`). `None` reads `QYMERA_DB_SLOTS`; 0 disables.
+    pub process_slots: Option<usize>,
 }
 
 impl Default for DurabilityOptions {
@@ -203,6 +225,7 @@ impl Default for DurabilityOptions {
             checkpoint_every_bytes: DEFAULT_CHECKPOINT_BYTES,
             budget: MemoryBudget::unlimited(),
             injector: FaultInjector::none(),
+            process_slots: None,
         }
     }
 }
@@ -251,6 +274,13 @@ impl Database {
             rows_returned: 0,
             durable: None,
             injector,
+            interrupt: CancelHandle::new(),
+            timeout_ms: None,
+            query_grant: None,
+            cancel_after_polls: None,
+            admission: AdmissionController::default(),
+            query: QueryContext::unbounded(),
+            _slot: None,
         }
     }
 
@@ -266,6 +296,10 @@ impl Database {
     /// [`Database::open`] with explicit [`DurabilityOptions`].
     pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Self> {
         let injector = opts.injector;
+        // Admission before any WAL touch: a process turned away at the slot
+        // gate must leave the directory exactly as it found it.
+        let slots = opts.process_slots.unwrap_or_else(govern::env_db_slots);
+        let slot = govern::acquire_process_slot(dir.as_ref(), slots)?;
         let (mut store, recovered) =
             DurableStore::open(dir.as_ref(), opts.fsync, Arc::clone(&injector))?;
         store.checkpoint_every_bytes = opts.checkpoint_every_bytes;
@@ -279,6 +313,13 @@ impl Database {
             rows_returned: 0,
             durable: None,
             injector,
+            interrupt: CancelHandle::new(),
+            timeout_ms: None,
+            query_grant: None,
+            cancel_after_polls: None,
+            admission: AdmissionController::default(),
+            query: QueryContext::unbounded(),
+            _slot: slot,
         };
         db.apply_recovered(recovered)?;
         db.durable = Some(store);
@@ -348,6 +389,82 @@ impl Database {
     /// arms it; all methods are no-ops in release builds.
     pub fn fault_injector(&self) -> &Arc<FaultInjector> {
         &self.injector
+    }
+
+    /// External interrupt handle for this session. Clone it into any thread
+    /// (e.g. a Ctrl-C handler) and call [`CancelHandle::cancel`] to stop the
+    /// statement in flight with [`Error::Cancelled`] — cooperatively, so the
+    /// ledger, spill directory, and WAL are left exactly as after any other
+    /// statement error. The flag is sticky: clear it with
+    /// [`CancelHandle::reset`] before executing further statements.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.interrupt.clone()
+    }
+
+    /// Replace the session interrupt handle (e.g. to share one Ctrl-C flag
+    /// across several databases). Affects statements started afterwards.
+    pub fn set_cancel_handle(&mut self, handle: CancelHandle) {
+        self.interrupt = handle;
+    }
+
+    /// Deadline applied to every subsequent statement; exceeding it fails
+    /// the statement with [`Error::Timeout`] at the next operator
+    /// checkpoint (one batch / morsel / spill run). `None` disables.
+    pub fn set_statement_timeout_ms(&mut self, ms: Option<u64>) {
+        self.timeout_ms = ms.filter(|&ms| ms > 0);
+    }
+
+    /// The configured per-statement timeout.
+    pub fn statement_timeout_ms(&self) -> Option<u64> {
+        self.timeout_ms
+    }
+
+    /// Per-query memory grant in bytes for subsequent statements: operators
+    /// whose in-memory holding could never fit the grant fail admission with
+    /// [`Error::OutOfMemory`] *before* allocating (spillable operators only
+    /// need one batch at a time and are unaffected until even that exceeds
+    /// the grant). `None` restores the full global budget.
+    pub fn set_query_grant(&mut self, bytes: Option<usize>) {
+        self.query_grant = bytes;
+    }
+
+    /// Deterministic cancel injection for tests and the cancellation
+    /// fuzzer: every subsequent statement latches a cooperative cancel at
+    /// its `n`-th governance poll (entry, per-batch, per-morsel, per-spill
+    /// run, pre-commit — wherever [`QueryContext::check`] runs). `None`
+    /// disarms.
+    pub fn arm_cancel_after_polls(&mut self, n: Option<u64>) {
+        self.cancel_after_polls = n;
+    }
+
+    /// Replace the admission controller (clone one controller into several
+    /// `Database` handles to bound their *combined* concurrency).
+    pub fn set_admission_controller(&mut self, ctl: AdmissionController) {
+        self.admission = ctl;
+    }
+
+    /// The admission controller bounding concurrent statements.
+    pub fn admission_controller(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Governance token of the statement currently in flight (or the most
+    /// recently finished one). Tests use it to read the cancellation-latency
+    /// meter ([`QueryContext::units_after_cancel`]).
+    pub fn last_query_context(&self) -> QueryContext {
+        self.query.clone()
+    }
+
+    /// Mint the governance token for one statement and make it current.
+    fn begin_query(&mut self) -> QueryContext {
+        let q = QueryContext::begin(
+            self.timeout_ms,
+            self.query_grant,
+            self.interrupt.flag(),
+            self.cancel_after_polls,
+        );
+        self.query = q.clone();
+        q
     }
 
     /// Serialize all tables into a new checkpoint image and truncate the
@@ -451,6 +568,7 @@ impl Database {
             spill: Arc::clone(&self.spill),
             parallelism: self.parallelism,
             instrument: None,
+            query: self.query.clone(),
         }
     }
 
@@ -476,6 +594,9 @@ impl Database {
             return Err(Error::Plan("EXPLAIN ANALYZE requires a query".into()));
         };
         let plan = optimize(plan_query(&q, &self.catalog)?);
+        let _grant = self.admission.admit()?;
+        let query = self.begin_query();
+        query.check()?;
         let (nodes, total_rows) = with_exec_stack(plan.depth(), || {
             let stats = Rc::new(RefCell::new(Vec::new()));
             let mut ctx = self.ctx();
@@ -539,12 +660,25 @@ impl Database {
     /// means it is fully absent — in memory *and* on disk — even when the
     /// failure happened after the in-memory apply (the apply is rolled
     /// back via the table's O(1) copy-on-write snapshot).
+    ///
+    /// Runs under full lifecycle governance: the statement first takes an
+    /// admission grant (rejected with [`Error::Overloaded`] when the
+    /// controller is saturated past its backoff budget), then executes under
+    /// a fresh [`QueryContext`] carrying the session's timeout, memory
+    /// grant, and interrupt flag. A cancel or deadline expiry surfaces as
+    /// [`Error::Cancelled`] / [`Error::Timeout`] with the same guarantees as
+    /// any other statement error — ledger restored, no spill residue, no
+    /// partial WAL frame — so an immediate retry is always valid.
     pub fn execute_statement(&mut self, st: Statement) -> Result<ResultSet> {
         self.statements += 1;
+        let _grant = self.admission.admit()?;
+        let query = self.begin_query();
         // The store is taken out for the duration so mutation arms can
         // borrow it alongside the catalog.
         let mut store = self.durable.take();
-        let result = self.execute_with_store(st, store.as_mut());
+        let result = query
+            .check()
+            .and_then(|()| self.execute_with_store(st, store.as_mut()));
         self.durable = store;
         #[cfg(debug_assertions)]
         if result.is_err() {
@@ -600,6 +734,14 @@ impl Database {
                     }
                 }
                 if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    // Last cancel point before the frame becomes durable: a
+                    // cancelled statement must never commit, so abort the
+                    // frame (truncate-repair) and undo the in-memory apply.
+                    if let Err(e) = self.query.check() {
+                        s.abort();
+                        self.catalog.drop_table(&name, true)?;
+                        return Err(e);
+                    }
                     if let Err(e) = s.commit(seq) {
                         self.catalog.drop_table(&name, true)?;
                         return Err(e);
@@ -624,6 +766,13 @@ impl Database {
                 // a failed commit can restore it — budget charge included.
                 let stash = self.catalog.drop_table(&name, if_exists)?;
                 if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    if let Err(e) = self.query.check() {
+                        s.abort();
+                        if let Some(t) = stash {
+                            self.catalog.put_table(t);
+                        }
+                        return Err(e);
+                    }
                     if let Err(e) = s.commit(seq) {
                         if let Some(t) = stash {
                             self.catalog.put_table(t);
@@ -659,6 +808,11 @@ impl Database {
                     }
                 };
                 if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                    if let Err(e) = self.query.check() {
+                        s.abort();
+                        self.catalog.get_mut(&table)?.restore(undo);
+                        return Err(e);
+                    }
                     if let Err(e) = s.commit(seq) {
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
@@ -693,6 +847,11 @@ impl Database {
                     }
                 };
                 if let (Some(s), Some(seq)) = (store, seq) {
+                    if let Err(e) = self.query.check() {
+                        s.abort();
+                        self.catalog.get_mut(&table)?.restore(undo);
+                        return Err(e);
+                    }
                     if let Err(e) = s.commit(seq) {
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
@@ -743,8 +902,12 @@ impl Database {
     /// Execution half of [`Self::create_table_as`] (runs on the execution
     /// stack for deep plans).
     fn create_table_as_exec(&mut self, name: &str, plan: Plan) -> Result<usize> {
+        let _grant = self.admission.admit()?;
+        let query = self.begin_query();
         let mut store = self.durable.take();
-        let result = self.create_table_as_with_store(name, plan, store.as_mut());
+        let result = query
+            .check()
+            .and_then(|()| self.create_table_as_with_store(name, plan, store.as_mut()));
         self.durable = store;
         #[cfg(debug_assertions)]
         if result.is_err() {
@@ -810,6 +973,10 @@ impl Database {
             const CHUNK: usize = 4096;
             let mut buf = first_rows;
             loop {
+                // Cancel point per chunk: nothing from a doomed chunk is
+                // logged or applied, and the error path below tears the
+                // partial table down and truncates the open frame.
+                db.query.check()?;
                 while buf.len() < CHUNK {
                     match stream.next_row()? {
                         Some(r) => buf.push(r),
@@ -827,6 +994,8 @@ impl Database {
                 inserted += db.catalog.get_mut(name)?.load_rows(std::mem::take(&mut buf))?;
             }
             if let Some(s) = store.as_deref_mut() {
+                // Last cancel point before the whole CTAS frame commits.
+                db.query.check()?;
                 s.commit(seq.unwrap_or_default())?;
             }
             Ok(inserted)
@@ -849,8 +1018,12 @@ impl Database {
     /// or budget overrun inserts nothing. WAL-framed like `INSERT` when the
     /// database is durable.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let _grant = self.admission.admit()?;
+        let query = self.begin_query();
         let mut store = self.durable.take();
-        let result = self.insert_rows_with_store(table, rows, store.as_mut());
+        let result = query
+            .check()
+            .and_then(|()| self.insert_rows_with_store(table, rows, store.as_mut()));
         self.durable = store;
         #[cfg(debug_assertions)]
         if result.is_err() {
@@ -892,6 +1065,11 @@ impl Database {
             }
         };
         if let (Some(s), Some(seq)) = (store, seq) {
+            if let Err(e) = self.query.check() {
+                s.abort();
+                self.catalog.get_mut(table)?.restore(undo);
+                return Err(e);
+            }
             if let Err(e) = s.commit(seq) {
                 self.catalog.get_mut(table)?.restore(undo);
                 return Err(e);

@@ -30,6 +30,19 @@ pub enum Error {
     OutOfMemory { requested: usize, budget: usize },
     /// Error from the disk layer (spill files, WAL, checkpoints).
     Io(String),
+    /// The statement was cancelled cooperatively (Ctrl-C, an explicit
+    /// [`crate::exec::govern::CancelHandle`], or an injection point). The
+    /// engine guarantees the same cleanup contract as any other statement
+    /// failure: ledger restored, no orphan spill files, no partial WAL frame.
+    Cancelled,
+    /// The statement exceeded its deadline (`ms` is the configured timeout).
+    /// Same cleanup contract as [`Error::Cancelled`].
+    Timeout { ms: u64 },
+    /// The admission controller rejected the statement (or a process-level
+    /// database slot could not be acquired) because `active` grants already
+    /// saturate the `max` concurrent limit, even after the bounded
+    /// retry/backoff queue. The statement never started executing.
+    Overloaded { active: usize, max: usize },
     /// Feature recognized but not supported by this engine.
     Unsupported(String),
     /// An engine invariant was violated. Reaching this is a bug, but it
@@ -62,6 +75,14 @@ impl fmt::Display for Error {
                 "out of memory: requested {requested} bytes with budget {budget} bytes"
             ),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Cancelled => write!(f, "statement cancelled"),
+            Error::Timeout { ms } => {
+                write!(f, "statement timed out after {ms} ms")
+            }
+            Error::Overloaded { active, max } => write!(
+                f,
+                "overloaded: {active} of {max} concurrent query grants in use"
+            ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }

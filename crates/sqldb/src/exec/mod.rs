@@ -12,6 +12,7 @@
 
 pub mod aggregate;
 pub mod batch;
+pub mod govern;
 pub mod join;
 pub mod parallel;
 pub mod sort;
@@ -72,6 +73,12 @@ pub struct ExecContext {
     pub parallelism: usize,
     /// When set, every operator is wrapped with row/time instrumentation.
     pub instrument: Option<Rc<RefCell<Vec<NodeStats>>>>,
+    /// Governance token for the statement this context executes: cancel
+    /// flag, deadline, and memory grant. Operators call
+    /// [`govern::QueryContext::check`] at every batch/morsel/spill-run
+    /// boundary (the builders wrap each node with a cancel guard, so plain
+    /// streaming operators need no explicit checks).
+    pub query: govern::QueryContext,
 }
 
 /// Build an executable stream for `plan`. Base-table snapshots are taken
@@ -139,14 +146,48 @@ fn build_stream_at(
     // Reserve this node's stats slot before recursing (pre-order render).
     let slot = instrument_slot(ctx, plan, depth);
     let stream = build_stream_inner(plan, catalog, ctx, depth)?;
-    Ok(match (slot, &ctx.instrument) {
+    let stream: Box<dyn RowStream> = match (slot, &ctx.instrument) {
         (Some(id), Some(stats)) => Box::new(Instrumented {
             inner: stream,
             id,
             stats: Rc::clone(stats),
         }),
         _ => stream,
-    })
+    };
+    Ok(Box::new(CancelGuard {
+        inner: stream,
+        query: ctx.query.clone(),
+        pulls: 0,
+    }))
+}
+
+/// Per-node cancellation guard on the row path. A batch-equivalent unit of
+/// row work is `BATCH_ROWS` pulls, so the guard polls
+/// [`govern::QueryContext::check`] once per unit rather than per row —
+/// blocking operators that drain their (guarded) children inside one
+/// `next_row` call still observe cancel within one unit of input.
+struct CancelGuard {
+    inner: Box<dyn RowStream>,
+    query: govern::QueryContext,
+    pulls: u64,
+}
+
+impl CancelGuard {
+    /// One governance unit of row work (matches the batch size).
+    const BATCH_ROWS: u64 = 1024;
+}
+
+impl RowStream for CancelGuard {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.pulls.is_multiple_of(Self::BATCH_ROWS) {
+            if self.pulls > 0 {
+                self.query.note_unit();
+            }
+            self.query.check()?;
+        }
+        self.pulls += 1;
+        self.inner.next_row()
+    }
 }
 
 fn build_stream_inner(
@@ -408,6 +449,7 @@ pub(crate) mod test_util {
             spill: SpillDir::new().unwrap(),
             parallelism: 1,
             instrument: None,
+            query: govern::QueryContext::unbounded(),
         }
     }
 
@@ -417,6 +459,7 @@ pub(crate) mod test_util {
             spill: SpillDir::new().unwrap(),
             parallelism: 1,
             instrument: None,
+            query: govern::QueryContext::unbounded(),
         }
     }
 

@@ -64,6 +64,7 @@ use super::vector::{
     build_batch_stream_at, truthy_selection, AggCore, BatchStream, JoinTable,
     JoinTableBuilder, WorkerAgg,
 };
+use super::govern::QueryContext;
 use super::vsort::{SortWorker, WorkerSort};
 use super::{instrument_slot, ExecContext};
 
@@ -434,21 +435,33 @@ struct OrderedResults<T> {
 /// `f` (shared high-water mark), so the lowest failing morsel always
 /// computes and its error is the one the consumer surfaces —
 /// deterministically, and identical to sequential execution's first error.
-fn run_ordered<T: Send + 'static>(total: usize, workers: usize, job: Job<T>) -> OrderedResults<T> {
+/// Every worker polls `query` before each morsel, so a cancel/timeout rides
+/// the same high-water-mark abort protocol as any other morsel error and
+/// surfaces as the typed governance error at the lowest affected morsel.
+fn run_ordered<T: Send + 'static>(
+    total: usize,
+    workers: usize,
+    query: &QueryContext,
+    job: Job<T>,
+) -> OrderedResults<T> {
     let abort_at = Arc::new(AtomicUsize::new(usize::MAX));
     let mut rxs = Vec::with_capacity(workers);
     let mut handles = Vec::with_capacity(workers);
     for w in 0..workers {
         let job = Arc::clone(&job);
         let abort_at = Arc::clone(&abort_at);
+        let query = query.clone();
         let (tx, rx) = mpsc::sync_channel(QUEUE_DEPTH);
         handles.push(thread::spawn(move || {
             let mut i = w;
             while i < total && i <= abort_at.load(Ordering::Relaxed) {
-                let result = job(i);
+                let result = query.check().and_then(|()| job(i));
                 let failed = result.is_err();
                 if failed {
                     abort_at.fetch_min(i, Ordering::Relaxed);
+                } else {
+                    // Morsel finished: feed the cancellation-latency meter.
+                    query.note_unit();
                 }
                 if tx.send((i, result)).is_err() || failed {
                     break;
@@ -607,7 +620,7 @@ pub(crate) fn spawn_pipeline(
             .sum();
         Ok((batches, Reservation::overdraft(&budget, bytes)))
     });
-    let ordered = run_ordered(total, workers, job);
+    let ordered = run_ordered(total, workers, &ctx.query, job);
     Ok(Box::new(ParallelPipelineStream {
         ordered,
         current: VecDeque::new(),
@@ -668,12 +681,15 @@ pub(crate) fn build_join_table(
             })
             .collect()
     });
-    let mut ordered = run_ordered(total, workers, job);
+    let mut ordered = run_ordered(total, workers, &ctx.query, job);
 
     let mut builder = JoinTableBuilder::new(keys.len());
     let mut reservation = Reservation::empty(&ctx.budget);
     while let Some(items) = ordered.next()? {
         for (batch, key_cols) in items {
+            // Same fail-fast grant admission as the sequential build path.
+            let est: usize = batch.columns().iter().map(|c| c.heap_bytes()).sum();
+            ctx.query.admit(reservation.bytes().saturating_add(est))?;
             builder.insert_batch(&batch, &key_cols, &mut reservation, &ctx.budget)?;
         }
     }
@@ -716,10 +732,14 @@ fn run_fold_workers<S: Send, T: Send>(
     let total = segment.num_morsels();
     let workers = ctx.parallelism.min(total).max(1);
     let abort_at = AtomicUsize::new(usize::MAX);
+    // Shared governance token (the full context is not `Sync`): polled
+    // before every morsel, exactly like `run_ordered`'s workers.
+    let query = ctx.query.clone();
     let results: Vec<(usize, Result<T>)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (abort_at, init, consume, finish) = (&abort_at, &init, &consume, &finish);
+                let query = &query;
                 scope.spawn(move || -> (usize, Result<T>) {
                     let mut state = init();
                     let mut i = w;
@@ -727,10 +747,11 @@ fn run_fold_workers<S: Send, T: Send>(
                         if i > abort_at.load(Ordering::Relaxed) {
                             break;
                         }
-                        if let Err(e) = consume(&mut state, i) {
+                        if let Err(e) = query.check().and_then(|()| consume(&mut state, i)) {
                             abort_at.fetch_min(i, Ordering::Relaxed);
                             return (i, Err(e));
                         }
+                        query.note_unit();
                         i += workers;
                     }
                     (usize::MAX, Ok(finish(state)))
@@ -775,6 +796,7 @@ pub(crate) fn run_agg_workers(
 ) -> Result<Vec<WorkerAgg>> {
     let budget = ctx.budget.clone();
     let spill = Arc::clone(&ctx.spill);
+    let query = ctx.query.clone();
     run_fold_workers(
         &segment,
         ctx,
@@ -790,6 +812,8 @@ pub(crate) fn run_agg_workers(
                 let over =
                     core.update_batch(&batch, &mut worker.table, &mut worker.reservation)?;
                 if over {
+                    // Observe cancel before paying for a doomed spill run.
+                    query.check()?;
                     core.flush(
                         &mut worker.table,
                         &mut worker.writers,
@@ -822,10 +846,11 @@ pub(crate) fn run_sort_workers(
 ) -> Result<Vec<WorkerSort>> {
     let budget = ctx.budget.clone();
     let spill = Arc::clone(&ctx.spill);
+    let query = ctx.query.clone();
     run_fold_workers(
         &segment,
         ctx,
-        || SortWorker::new(keys, desc, topk, &budget, &spill),
+        || SortWorker::new(keys, desc, topk, &budget, &spill, &query),
         |worker, i| {
             worker.begin_morsel(i);
             for batch in segment.core.run_morsel(i)? {

@@ -85,7 +85,32 @@ pub(crate) fn build_batch_stream_at(
     // Reserve this node's stats slot before recursing (pre-order render).
     let slot = instrument_slot(ctx, plan, depth);
     let stream = build_batch_stream_inner(plan, catalog, ctx, depth, slot)?;
-    Ok(instrument_wrap(stream, slot, ctx))
+    Ok(Box::new(BatchCancelGuard {
+        inner: instrument_wrap(stream, slot, ctx),
+        query: ctx.query.clone(),
+        pulled: false,
+    }))
+}
+
+/// Per-node cancellation guard: polls [`ExecContext::query`] before every
+/// batch this node produces, so a cancel/timeout is observed within one
+/// batch at every level of the plan even when a blocking child (sort,
+/// aggregate, join build) drains its whole input inside one `next_batch`.
+struct BatchCancelGuard {
+    inner: Box<dyn BatchStream>,
+    query: super::govern::QueryContext,
+    pulled: bool,
+}
+
+impl BatchStream for BatchCancelGuard {
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.pulled {
+            self.query.note_unit();
+        }
+        self.query.check()?;
+        self.pulled = true;
+        self.inner.next_batch()
+    }
 }
 
 /// Wrap `stream` with the `EXPLAIN ANALYZE` counter shim when a stats slot
@@ -654,6 +679,12 @@ impl JoinTable {
                 .iter()
                 .map(|e| e.eval_batch(&batch))
                 .collect::<Result<Vec<_>>>()?;
+            // Fail grant admission up front when this build batch could not
+            // fit the query's memory grant (satellite of the bounded
+            // build-overdraft rule: the grant is a hard ceiling, not a floor
+            // to overdraft toward).
+            let est: usize = batch.columns().iter().map(|c| c.heap_bytes()).sum();
+            ctx.query.admit(reservation.bytes().saturating_add(est))?;
             builder.insert_batch(&batch, &key_cols, &mut reservation, &ctx.budget)?;
         }
         Ok((builder.finish(left_keys, residual, build_cols), reservation))
@@ -925,6 +956,9 @@ struct BatchNestedLoopJoin {
     pending: Option<(RowBatch, usize, usize, bool)>,
     out: BatchBuilder,
     done: bool,
+    /// Per-block cancellation checks: one probe row crossing a huge build
+    /// side must observe cancel without finishing the whole sweep.
+    query: super::govern::QueryContext,
     /// Memory charge for the materialized right side.
     _reservation: Reservation,
 }
@@ -947,6 +981,10 @@ impl BatchNestedLoopJoin {
         let mut overdraft_rows = 0usize;
         while let Some(batch) = build.next_batch()? {
             let bytes: usize = batch.columns().iter().map(|c| c.heap_bytes()).sum();
+            // Fail grant admission before touching the ledger: a build side
+            // that could never fit this query's memory grant is rejected
+            // outright instead of overdrafting toward it.
+            ctx.query.admit(reservation.bytes().saturating_add(bytes))?;
             if !reservation.try_grow(bytes) {
                 overdraft_rows += batch.num_rows();
                 if overdraft_rows > BUILD_OVERDRAFT_ROWS {
@@ -968,6 +1006,7 @@ impl BatchNestedLoopJoin {
             pending: None,
             out: BatchBuilder::new(left_cols + right_cols),
             done: false,
+            query: ctx.query.clone(),
             _reservation: reservation,
         })
     }
@@ -991,6 +1030,7 @@ impl BatchNestedLoopJoin {
             if self.out.num_rows() >= BATCH_SIZE {
                 return Ok(false);
             }
+            self.query.check()?;
             let bi = *block;
             *block += 1;
             let n = self.blocks[bi].num_rows();
@@ -1452,7 +1492,10 @@ impl BatchHashAggregate {
             let over_budget = core.update_batch(&batch, &mut table, &mut self.reservation)?;
             if over_budget {
                 // Budget exhausted: spill the whole table (including the
-                // entries just inserted — partials merge in phase 2).
+                // entries just inserted — partials merge in phase 2). A
+                // cancel arriving here is observed before the spill run
+                // starts, so no run is written just to be deleted.
+                self.ctx.query.check()?;
                 core.flush(
                     &mut table,
                     &mut writers,
@@ -1508,6 +1551,9 @@ impl BatchHashAggregate {
         let mut worker_writers: Vec<Vec<SpillWriter>> = Vec::new();
 
         for (w, worker) in results.into_iter().enumerate() {
+            // One check per worker merge: breaker merges are the only
+            // aggregate phase not already covered by the per-batch guards.
+            self.ctx.query.check()?;
             total_rows += worker.rows_seen;
             if w == 0 {
                 // The first worker's table seeds the merge wholesale — its
@@ -1629,6 +1675,9 @@ impl BatchHashAggregate {
         let mut writers: Option<Vec<SpillWriter>> = None;
 
         for mut reader in readers {
+            // One spilled run is one cancellation unit: check before each
+            // reader, and count the drained run against the latency meter.
+            self.ctx.query.check()?;
             while let Some(row) = reader.next_row()? {
                 let reps: Vec<Value> = row[..k].to_vec();
                 let keys: Vec<GroupKey> = reps.iter().map(Value::group_key).collect();
@@ -1662,6 +1711,7 @@ impl BatchHashAggregate {
                     }
                 }
             }
+            self.ctx.query.note_unit();
         }
 
         let mut extra_pending = Vec::new();

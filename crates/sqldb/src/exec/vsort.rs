@@ -417,6 +417,9 @@ pub(crate) struct SortWorker {
     heap: BinaryHeap<TopEntry>,
     runs: Vec<SpillReader>,
     reservation: Reservation,
+    /// Per-spill-run cancellation checks (the governance token is `Sync`,
+    /// unlike the full context).
+    query: super::govern::QueryContext,
     /// Next ordinal to assign (advanced per row, rebased per morsel).
     ord: u64,
 }
@@ -431,6 +434,7 @@ impl SortWorker {
         topk: Option<usize>,
         budget: &crate::storage::budget::MemoryBudget,
         spill: &Arc<crate::storage::spill::SpillDir>,
+        query: &super::govern::QueryContext,
     ) -> Self {
         SortWorker {
             key_exprs: keys.iter().map(|k| k.expr.clone()).collect(),
@@ -441,6 +445,7 @@ impl SortWorker {
             heap: BinaryHeap::new(),
             runs: Vec::new(),
             reservation: Reservation::empty(budget),
+            query: query.clone(),
             ord: 0,
         }
     }
@@ -492,6 +497,9 @@ impl SortWorker {
 
     /// Sort the buffer by `(key, ordinal)` and write it out as one run.
     fn spill_worker_run(&mut self) -> Result<()> {
+        // Cancel is observed before the run is sorted and written — a
+        // cancelled worker never pays for (or leaks) a doomed spill file.
+        self.query.check()?;
         let desc = Arc::clone(&self.desc);
         self.mem
             .sort_unstable_by(|a, b| cmp_keys(&a.0, &b.0, &desc).then(a.1.cmp(&b.1)));
@@ -620,6 +628,10 @@ impl BatchSort {
                 .collect::<Result<Vec<_>>>()?;
             let bytes = batch.columns().iter().map(|c| c.heap_bytes()).sum::<usize>()
                 + key_cols.iter().map(|c| c.heap_bytes()).sum::<usize>();
+            // A single batch bigger than the whole query grant can never be
+            // buffered or spilled piecemeal — reject it at admission instead
+            // of spinning through doomed spill runs.
+            self.ctx.query.admit(bytes)?;
             let fits = self.reservation.try_grow(bytes);
             buffer.push(batch, key_cols);
             if !fits && buffer.rows >= MIN_RUN_ROWS {
@@ -680,6 +692,7 @@ impl BatchSort {
             parallel::run_sort_workers(segment, &self.keys, &self.desc, self.topk, &self.ctx)?;
         let mut sources: Vec<RunSource> = Vec::new();
         for w in workers {
+            self.ctx.query.check()?;
             self.reservation.adopt(w.reservation);
             if !w.mem.is_empty() {
                 sources.push(RunSource::Mem(w.mem.into_iter()));
@@ -693,6 +706,7 @@ impl BatchSort {
             // of the merged candidates.
             let mut heap: BinaryHeap<TopEntry> = BinaryHeap::with_capacity(k + 1);
             for mut src in sources {
+                self.ctx.query.check()?;
                 while let Some((key, ord, row)) = src.next(self.keys.len())? {
                     offer_topk(&mut heap, k, key, ord, || row, &self.desc, &mut self.reservation);
                 }
@@ -706,6 +720,9 @@ impl BatchSort {
     /// Sort and spill the buffered rows as one run of
     /// `[keys…, ordinal, row…]` records; ordinals start at `base_ord`.
     fn spill_run(&mut self, buffer: &mut SortBuffer, base_ord: u64) -> Result<SpillReader> {
+        // One spill run is one cancellation unit: observe cancel before
+        // sorting/writing so no doomed run is ever created.
+        self.ctx.query.check()?;
         let order = buffer.sorted_indices(&self.desc);
         let prefix = buffer.prefix_rows();
         let mut w = SpillWriter::create(&self.ctx.spill)?;

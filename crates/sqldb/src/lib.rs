@@ -42,6 +42,7 @@ pub mod vexpr;
 pub use bigbits::BigBits;
 pub use db::{Database, DbStats, DurabilityOptions, ExecPath, ResultSet};
 pub use error::{Error, Result};
+pub use exec::govern::{AdmissionController, AdmissionGrant, CancelHandle, QueryContext};
 pub use storage::budget::MemoryBudget;
 pub use storage::fault::{FaultInjector, FaultKind, FaultSchedule, FaultSite};
 pub use storage::wal::FsyncPolicy;

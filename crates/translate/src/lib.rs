@@ -17,6 +17,7 @@ pub mod sqlgen;
 pub mod tables;
 
 pub use masks::{GateMasks, StateEncoding};
+pub use qymera_sqldb::CancelHandle;
 pub use runner::{ExecMode, SqlAmplitude, SqlRunResult, SqlSimConfig, SqlSimulator};
 pub use sqlgen::{circuit_query, gate_select, SqlGenConfig};
 pub use tables::{GateOp, GateTableRegistry};
