@@ -5,12 +5,13 @@
 //!
 //! ```text
 //! qymera-fuzz [--seed N] [--cases N] [--circuits N] [--faults N]
-//!             [--cancels N] [--out DIR]
+//!             [--cancels N] [--txns N] [--out DIR]
 //! ```
 //!
 //! Defaults: seed from `QYMERA_CHECK_SEED` (else 0xC0FFEE), 500 SQL
-//! cases, 50 circuits, 50 fault schedules, 50 cancellation cases, repros
-//! into `QYMERA_CHECK_REPRO_DIR` (else `target/check-repros`).
+//! cases, 50 circuits, 50 fault schedules, 50 cancellation cases, 50
+//! transaction scripts, repros into `QYMERA_CHECK_REPRO_DIR` (else
+//! `target/check-repros`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +27,7 @@ struct Args {
     circuits: usize,
     faults: usize,
     cancels: usize,
+    txns: usize,
     out: PathBuf,
 }
 
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         circuits: 50,
         faults: 50,
         cancels: 50,
+        txns: 50,
         out: qymera_check::repro_dir(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
             "--cancels" => {
                 args.cancels = value()?.parse().map_err(|e| format!("--cancels: {e}"))?
             }
+            "--txns" => args.txns = value()?.parse().map_err(|e| format!("--txns: {e}"))?,
             "--out" => args.out = PathBuf::from(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -70,8 +74,8 @@ fn main() -> ExitCode {
 
     println!(
         "qymera-fuzz: seed {:#x}, {} SQL cases, {} circuits, {} fault schedules, \
-         {} cancellation cases",
-        args.seed, args.cases, args.circuits, args.faults, args.cancels
+         {} cancellation cases, {} transaction scripts",
+        args.seed, args.cases, args.circuits, args.faults, args.cancels, args.txns
     );
 
     for i in 0..args.cases {
@@ -139,6 +143,15 @@ fn main() -> ExitCode {
         if let Some(d) = qymera_check::run_cancel_case(seed) {
             failures += 1;
             let case = qymera_check::CancelCase::generate(seed);
+            eprintln!("FAIL {d}\n  case: {case:?} (re-run with --seed {seed})");
+        }
+    }
+
+    for i in 0..args.txns {
+        let seed = args.seed.wrapping_add(0xAC1D).wrapping_add(i as u64);
+        if let Some(d) = qymera_check::run_txn_case(seed) {
+            failures += 1;
+            let case = qymera_check::TxnCase::generate(seed);
             eprintln!("FAIL {d}\n  case: {case:?} (re-run with --seed {seed})");
         }
     }

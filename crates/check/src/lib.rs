@@ -3,9 +3,11 @@
 //! Correctness tooling for the whole engine: one seed-deterministic
 //! generator, five independent oracles, a metamorphic-rewrite layer, an
 //! automatic shrinker, fault-schedule fuzzing over the durability paths,
-//! and cancellation fuzzing over the query-lifecycle governance paths
-//! (seeded cancel points × worker counts × spill/WAL states). See
-//! `docs/TESTING.md` for the workflow.
+//! cancellation fuzzing over the query-lifecycle governance paths
+//! (seeded cancel points × worker counts × spill/WAL states), and
+//! transaction fuzzing over the ACID paths (seeded multi-statement
+//! scripts with a shadow oracle, crash/kill-point simulation, and
+//! fault/cancel composition). See `docs/TESTING.md` for the workflow.
 //!
 //! The five oracles every generated case can be cross-checked against:
 //!
@@ -36,6 +38,7 @@ pub mod meta;
 pub mod oracle;
 pub mod repro;
 pub mod shrink;
+pub mod txnfuzz;
 
 pub use cancelfuzz::{run_cancel_case, CancelCase};
 pub use circuits::{run_circuit_case, CircuitCase};
@@ -44,6 +47,7 @@ pub use generator::{CaseRng, SqlCase};
 pub use oracle::{run_sql_case_all_oracles, Discrepancy, SqlOracle};
 pub use repro::Repro;
 pub use shrink::{shrink_circuit_case, shrink_sql_case};
+pub use txnfuzz::{run_txn_case, TxnCase};
 
 /// Base seed for pinned corpora: the `QYMERA_CHECK_SEED` environment
 /// variable when set (decimal or `0x`-prefixed hex), else `0xC0FFEE`.

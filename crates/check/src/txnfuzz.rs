@@ -1,0 +1,629 @@
+//! Transaction fuzzing: seeded multi-statement transaction scripts with a
+//! shadow in-memory oracle, crash (kill-point) simulation over the
+//! transaction-scoped WAL, and fault/cancellation composition.
+//!
+//! Each case derives a full scenario from one seed — durable (WAL) vs.
+//! in-memory engine, one session or two interleaved sessions on disjoint
+//! tables (interleaving forces `Abort`/`RollbackSp` records instead of
+//! tail truncation), and a script of `BEGIN` / DML / DDL / `SAVEPOINT` /
+//! `ROLLBACK TO` / `ROLLBACK` / `COMMIT` / checkpoint actions with
+//! seeded poll-armed cancellations and (debug builds) injected WAL
+//! faults riding along. The case checks the ACID contract:
+//!
+//! 1. a **shadow** in-memory database applies each transaction's
+//!    statements only at its `COMMIT` — after the script the live state
+//!    must equal the shadow exactly (atomicity + isolation of rollback);
+//! 2. any statement failure inside a transaction (cancellation, injected
+//!    fault) aborts the whole transaction with a *typed* error, and the
+//!    live state still matches the shadow;
+//! 3. the memory ledger holds exactly the base tables and the spill
+//!    directory is empty once every transaction resolves;
+//! 4. for durable engines, a simulated crash (snapshot of the WAL +
+//!    checkpoint files) recovers exactly the committed state — an
+//!    in-flight transaction at the crash point leaves zero trace;
+//! 5. for durable engines, truncating the WAL snapshot at seeded byte
+//!    offsets (kill points) always recovers one of the committed-prefix
+//!    states observed at the script's commit boundaries.
+//!
+//! Everything reproduces from the one `u64` seed.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use qymera_sqldb::storage::wal::{CHECKPOINT_FILE, WAL_FILE};
+use qymera_sqldb::{
+    Database, DurabilityOptions, Error, FsyncPolicy, Session, SharedDb,
+};
+
+use crate::generator::CaseRng;
+use crate::oracle::Discrepancy;
+
+/// Seed-space offset separating transaction cases from the other fuzz
+/// loops.
+const TXN_SALT: u64 = 0xAC1D_7861_AC1D_7861;
+
+/// The seed-derived scenario (exposed for failure reports).
+#[derive(Debug, Clone)]
+pub struct TxnCase {
+    /// The driving seed.
+    pub seed: u64,
+    /// Durable (WAL) engine vs. in-memory.
+    pub durable: bool,
+    /// Two sessions interleaving on disjoint tables vs. one session.
+    pub interleaved: bool,
+    /// Script length in actions.
+    pub steps: usize,
+}
+
+impl TxnCase {
+    /// Derive the scenario for `seed` (deterministic).
+    pub fn generate(seed: u64) -> TxnCase {
+        let mut rng = CaseRng::new(seed ^ TXN_SALT);
+        TxnCase {
+            seed,
+            // Durable engines are the point of the exercise; keep a slice
+            // of in-memory cases for the pure rollback machinery.
+            durable: !rng.chance(1, 4),
+            interleaved: rng.chance(1, 2),
+            steps: 30 + rng.below(30) as usize,
+        }
+    }
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("qymera-txnfuzz-{}-{seed:x}", std::process::id()))
+}
+
+type Dump = Vec<(String, Vec<String>)>;
+
+/// Deterministic dump: every table's name and rows, both sorted.
+fn dump(db: &mut Database) -> Dump {
+    let mut names = db.table_names();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let mut rows: Vec<String> = db
+                .execute(&format!("SELECT * FROM {name}"))
+                .expect("dump query")
+                .rows()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            rows.sort();
+            (name, rows)
+        })
+        .collect()
+}
+
+/// The catalog effect of one scripted statement (for rewinding the
+/// pending set at savepoints and computing the visible-table model).
+#[derive(Debug, Clone)]
+enum Effect {
+    Dml,
+    Create(String),
+    Drop(String),
+}
+
+/// Per-session script state: the open transaction's pending statements
+/// (applied to the shadow only at `COMMIT`) and its savepoint marks.
+#[derive(Default)]
+struct ScriptTxn {
+    open: bool,
+    pending: Vec<(String, Effect)>,
+    savepoints: Vec<(String, usize)>,
+    sp_counter: usize,
+}
+
+/// Tables this session may run DML against right now: the shadow's
+/// committed tables, adjusted by the pending creates/drops.
+fn visible(shadow: &Database, txn: &ScriptTxn, own: Option<&str>) -> Vec<String> {
+    let mut set: BTreeSet<String> = shadow.table_names().into_iter().collect();
+    for (_, eff) in &txn.pending {
+        match eff {
+            Effect::Create(n) => {
+                set.insert(n.clone());
+            }
+            Effect::Drop(n) => {
+                set.remove(n);
+            }
+            Effect::Dml => {}
+        }
+    }
+    match own {
+        // Interleaved sessions stay on their own table (disjoint lock
+        // footprints keep the script deterministic — nobody ever waits).
+        Some(t) => set.into_iter().filter(|n| n.as_str() == t).collect(),
+        None => set.into_iter().collect(),
+    }
+}
+
+struct Runner {
+    shared: SharedDb,
+    shadow: Database,
+    /// Shadow dumps at every commit boundary, in commit order — the set
+    /// of states any kill point is allowed to recover.
+    states: Vec<Dump>,
+    case: TxnCase,
+    rng: CaseRng,
+    created: usize,
+}
+
+impl Runner {
+    fn fail(&self, what: &str, detail: String) -> Discrepancy {
+        Discrepancy {
+            seed: self.case.seed,
+            oracle: format!(
+                "txn[durable={} interleaved={} steps={}]:{what}",
+                self.case.durable, self.case.interleaved, self.case.steps
+            ),
+            detail,
+        }
+    }
+
+    fn snap(&mut self) {
+        let d = dump(&mut self.shadow);
+        if self.states.last() != Some(&d) {
+            self.states.push(d);
+        }
+    }
+
+    /// Generate one statement against `visible` tables. `None` when no
+    /// table is visible and the dice said DML.
+    fn gen_stmt(&mut self, vis: &[String], ddl_ok: bool) -> Option<(String, Effect)> {
+        let roll = self.rng.below(10);
+        if ddl_ok && roll == 9 {
+            self.created += 1;
+            let name = format!("x{}", self.created);
+            return Some((format!("CREATE TABLE {name} (k INTEGER)"), Effect::Create(name)));
+        }
+        if ddl_ok && roll == 8 && !vis.is_empty() {
+            let name = self.rng.pick(vis).clone();
+            return Some((format!("DROP TABLE {name}"), Effect::Drop(name)));
+        }
+        if vis.is_empty() {
+            return None;
+        }
+        let table = self.rng.pick(vis).clone();
+        if roll < 6 {
+            let a = self.rng.range(-50, 50);
+            let b = self.rng.range(-50, 50);
+            Some((format!("INSERT INTO {table} VALUES ({a}), ({b})"), Effect::Dml))
+        } else {
+            let m = 2 + self.rng.below(5) as i64;
+            let r = self.rng.range(0, m - 1);
+            Some((
+                format!("DELETE FROM {table} WHERE (k % {m} + {m}) % {m} = {r}"),
+                Effect::Dml,
+            ))
+        }
+    }
+
+    /// Commit `txn`'s pending statements into the shadow and snapshot the
+    /// new committed state.
+    fn shadow_commit(&mut self, txn: &mut ScriptTxn) -> Result<(), Discrepancy> {
+        for (sql, _) in txn.pending.drain(..) {
+            if let Err(e) = self.shadow.execute(&sql) {
+                return Err(self.fail(
+                    "shadow",
+                    format!("shadow diverged replaying `{sql}`: {e}"),
+                ));
+            }
+        }
+        txn.open = false;
+        txn.savepoints.clear();
+        txn.sp_counter = 0;
+        self.snap();
+        Ok(())
+    }
+}
+
+/// Run one transaction fuzz case. `None` = the ACID contract held.
+pub fn run_txn_case(seed: u64) -> Option<Discrepancy> {
+    run_txn_case_inner(seed).err()
+}
+
+fn run_txn_case_inner(seed: u64) -> Result<(), Discrepancy> {
+    let case = TxnCase::generate(seed);
+    let dir = scratch_dir(seed);
+    let db = if case.durable {
+        let _ = std::fs::remove_dir_all(&dir);
+        Database::open_with(
+            &dir,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Commit,
+                checkpoint_every_bytes: 0,
+                ..DurabilityOptions::default()
+            },
+        )
+        .map_err(|e| Discrepancy {
+            seed,
+            oracle: "txn:setup".into(),
+            detail: format!("open failed: {e}"),
+        })?
+    } else {
+        Database::new()
+    };
+
+    let mut r = Runner {
+        shared: SharedDb::new(db),
+        shadow: Database::new(),
+        states: Vec::new(),
+        case: case.clone(),
+        rng: CaseRng::new(seed ^ TXN_SALT ^ 0x7C),
+        created: 0,
+    };
+
+    let session_count = if case.interleaved { 2 } else { 1 };
+    let mut sessions: Vec<Session> = (0..session_count).map(|_| r.shared.session()).collect();
+    let mut txns: Vec<ScriptTxn> = (0..session_count).map(|_| ScriptTxn::default()).collect();
+
+    // Fixed base tables, created auto-commit (session i owns t{i}). A
+    // kill point may land inside the setup frames, so the empty state and
+    // every intermediate one are committed prefixes too.
+    r.snap();
+    for (i, session) in sessions.iter_mut().enumerate() {
+        let sql = format!("CREATE TABLE t{i} (k INTEGER)");
+        session.execute(&sql).map_err(|e| Discrepancy {
+            seed,
+            oracle: "txn:setup".into(),
+            detail: format!("{sql}: {e}"),
+        })?;
+        r.shadow.execute(&sql).expect("shadow create");
+        r.snap();
+    }
+
+    for step in 0..case.steps {
+        let i = if case.interleaved { r.rng.below(2) as usize } else { 0 };
+        let own_table = if case.interleaved { Some(format!("t{i}")) } else { None };
+        let own = own_table.as_deref();
+        // Interleaved sessions skip DDL: catalog changes would couple
+        // their lock footprints and make the script order-dependent.
+        let ddl_ok = !case.interleaved;
+
+        if !txns[i].open {
+            match r.rng.below(10) {
+                0..=3 => {
+                    exec_ok(&mut sessions[i], "BEGIN", &r, step)?;
+                    txns[i].open = true;
+                }
+                4..=7 => {
+                    let vis = visible(&r.shadow, &txns[i], own);
+                    if let Some((sql, _)) = r.gen_stmt(&vis, ddl_ok) {
+                        exec_ok(&mut sessions[i], &sql, &r, step)?;
+                        r.shadow.execute(&sql).map_err(|e| {
+                            r.fail("shadow", format!("auto-commit `{sql}`: {e}"))
+                        })?;
+                        r.snap();
+                    }
+                }
+                8 => {
+                    if case.durable {
+                        if std::env::var_os("QYMERA_TXNFUZZ_TRACE").is_some() {
+                            eprintln!("TRACE step {step} : CHECKPOINT");
+                        }
+                        // Engine-level checkpoint; with an open frame in
+                        // the other session this takes the keep-tail path.
+                        r.shared
+                            .with(|db| db.checkpoint())
+                            .map_err(|e| r.fail("checkpoint", format!("{e}")))?;
+                    }
+                }
+                _ => {
+                    // Bookkeeping misuse outside a transaction: typed plan
+                    // error, nothing changes.
+                    let sql = *r.rng.pick(&["COMMIT", "ROLLBACK", "SAVEPOINT ghost"]);
+                    match sessions[i].execute(sql) {
+                        Err(Error::Plan(_)) => {}
+                        other => {
+                            return Err(r.fail(
+                                "bookkeeping",
+                                format!("{sql} outside txn: {other:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Inside an open transaction.
+        match r.rng.below(20) {
+            0..=9 => {
+                let vis = visible(&r.shadow, &txns[i], own);
+                if let Some((sql, eff)) = r.gen_stmt(&vis, ddl_ok) {
+                    exec_ok(&mut sessions[i], &sql, &r, step)?;
+                    txns[i].pending.push((sql, eff));
+                }
+            }
+            10 | 11 => {
+                txns[i].sp_counter += 1;
+                let name = format!("sp{}", txns[i].sp_counter);
+                exec_ok(&mut sessions[i], &format!("SAVEPOINT {name}"), &r, step)?;
+                let depth = txns[i].pending.len();
+                txns[i].savepoints.push((name, depth));
+            }
+            12 | 13 => {
+                if txns[i].savepoints.is_empty() {
+                    // Unknown savepoint: bookkeeping error, txn untouched.
+                    match sessions[i].execute("ROLLBACK TO nosuch") {
+                        Err(Error::Plan(_)) => {}
+                        other => {
+                            return Err(r.fail(
+                                "bookkeeping",
+                                format!("ROLLBACK TO unknown: {other:?}"),
+                            ))
+                        }
+                    }
+                    if !sessions[i].in_transaction() {
+                        return Err(r.fail(
+                            "bookkeeping",
+                            "unknown savepoint aborted the transaction".into(),
+                        ));
+                    }
+                } else {
+                    let idx = r.rng.below(txns[i].savepoints.len() as u64) as usize;
+                    let (name, depth) = txns[i].savepoints[idx].clone();
+                    exec_ok(&mut sessions[i], &format!("ROLLBACK TO {name}"), &r, step)?;
+                    txns[i].pending.truncate(depth);
+                    txns[i].savepoints.truncate(idx + 1);
+                }
+            }
+            14 | 15 => {
+                exec_ok(&mut sessions[i], "ROLLBACK", &r, step)?;
+                txns[i].open = false;
+                txns[i].pending.clear();
+                txns[i].savepoints.clear();
+                txns[i].sp_counter = 0;
+            }
+            16 | 17 => {
+                if do_commit(&mut sessions[i], &r, step)? {
+                    let mut t = std::mem::take(&mut txns[i]);
+                    r.shadow_commit(&mut t)?;
+                    txns[i] = t;
+                } else {
+                    txns[i] = ScriptTxn::default();
+                }
+            }
+            18 => {
+                // Poll-armed cancellation of the next statement: the
+                // statement fails typed and the WHOLE transaction aborts.
+                let vis = visible(&r.shadow, &txns[i], own);
+                let Some((sql, _)) = r.gen_stmt(&vis, false) else { continue };
+                if std::env::var_os("QYMERA_TXNFUZZ_TRACE").is_some() {
+                    eprintln!("TRACE step {step} session {i} : CANCEL-ARMED {sql}");
+                }
+                r.shared.with(|db| db.arm_cancel_after_polls(Some(1)));
+                let got = sessions[i].execute(&sql);
+                r.shared.with(|db| db.arm_cancel_after_polls(None));
+                match got {
+                    Err(Error::Cancelled) => {}
+                    other => {
+                        return Err(
+                            r.fail("cancel", format!("expected Cancelled, got {other:?}"))
+                        )
+                    }
+                }
+                if sessions[i].in_transaction() {
+                    return Err(r.fail("cancel", "cancelled statement left the txn open".into()));
+                }
+                txns[i] = ScriptTxn::default();
+            }
+            _ => {
+                // Debug builds: an injected WAL fault at COMMIT. The
+                // commit either fails typed (frame fsync) and aborts, or
+                // succeeds because the (read-only / fully rewound) frame
+                // never touched the log.
+                if !cfg!(debug_assertions) || !case.durable {
+                    continue;
+                }
+                use qymera_sqldb::storage::fault::{FaultKind, FaultSite};
+                let inj = r.shared.with(|db| std::sync::Arc::clone(db.fault_injector()));
+                inj.arm_nth(Some(FaultSite::WalFsync), 1, FaultKind::Error);
+                let committed = do_commit(&mut sessions[i], &r, step);
+                inj.disarm();
+                if committed? {
+                    let mut t = std::mem::take(&mut txns[i]);
+                    r.shadow_commit(&mut t)?;
+                    txns[i] = t;
+                } else {
+                    txns[i] = ScriptTxn::default();
+                }
+            }
+        }
+    }
+
+    // Crash simulation BEFORE resolving: if any transaction is still
+    // open, its in-flight frame is in the snapshot and must vanish — the
+    // recovered state is exactly the last commit-boundary state.
+    if case.durable {
+        let snap = snapshot_dir(&dir, seed);
+        let mut rec = reopen(&snap, &r, "crash-reopen")?;
+        let crash = dump(&mut rec);
+        drop(rec);
+        let _ = std::fs::remove_dir_all(&snap);
+        let committed = r.states.last().cloned().unwrap_or_default();
+        if crash != committed {
+            return Err(r.fail(
+                "crash",
+                format!(
+                    "crash recovery diverged from the committed state:\n \
+                     got: {crash:?}\n want: {committed:?}"
+                ),
+            ));
+        }
+    }
+
+    // Resolve every open transaction (seeded commit vs. rollback), then
+    // the live state must equal the shadow.
+    for i in 0..session_count {
+        if !txns[i].open {
+            continue;
+        }
+        if r.rng.chance(1, 2) && do_commit(&mut sessions[i], &r, usize::MAX)? {
+            let mut t = std::mem::take(&mut txns[i]);
+            r.shadow_commit(&mut t)?;
+            txns[i] = t;
+        } else {
+            // Seeded rollback — or the commit was refused typed (e.g. the
+            // log was repaired under it) and the engine already aborted.
+            if sessions[i].in_transaction() {
+                exec_ok(&mut sessions[i], "ROLLBACK", &r, usize::MAX)?;
+            }
+            txns[i] = ScriptTxn::default();
+        }
+    }
+    let live = r.shared.with(dump);
+    let expected = dump(&mut r.shadow);
+    if live != expected {
+        return Err(r.fail(
+            "atomicity",
+            format!("live state diverged from shadow:\n live: {live:?}\n want: {expected:?}"),
+        ));
+    }
+
+    // Ledger + spill cleanliness once everything resolved.
+    let (used, tables, spills) = r
+        .shared
+        .with(|db| (db.budget().used(), db.table_bytes(), db.live_spill_files()));
+    if used != tables {
+        return Err(r.fail("ledger", format!("used {used} != base tables {tables}")));
+    }
+    if spills != 0 {
+        return Err(r.fail("ledger", format!("{spills} orphan spill files")));
+    }
+
+    if case.durable {
+        // Seeded kill points: truncate the WAL snapshot at random byte
+        // offsets; recovery must always succeed and always land on a
+        // commit-boundary state.
+        let full = std::fs::read(dir.join(WAL_FILE)).unwrap_or_default();
+        for _ in 0..4 {
+            let cut = r.rng.below(full.len() as u64 + 1) as usize;
+            let kp = scratch_dir(seed).with_extension(format!("kp{cut}"));
+            let _ = std::fs::remove_dir_all(&kp);
+            std::fs::create_dir_all(&kp).expect("killpoint dir");
+            std::fs::write(kp.join(WAL_FILE), &full[..cut]).expect("killpoint wal");
+            let ckpt = dir.join(CHECKPOINT_FILE);
+            if ckpt.exists() {
+                std::fs::copy(&ckpt, kp.join(CHECKPOINT_FILE)).expect("killpoint ckpt");
+            }
+            let mut rec = reopen(&kp, &r, "killpoint-reopen")?;
+            let got = dump(&mut rec);
+            drop(rec);
+            let _ = std::fs::remove_dir_all(&kp);
+            if !r.states.contains(&got) {
+                return Err(r.fail(
+                    "killpoint",
+                    format!("cut at byte {cut}/{}: recovered a never-committed state: {got:?}",
+                        full.len()),
+                ));
+            }
+        }
+    }
+
+    drop(sessions);
+    drop(r);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Execute a statement that the script expects to succeed.
+fn exec_ok(s: &mut Session, sql: &str, r: &Runner, step: usize) -> Result<(), Discrepancy> {
+    if std::env::var_os("QYMERA_TXNFUZZ_TRACE").is_some() {
+        eprintln!("TRACE step {step} session {} : {sql}", s.id());
+    }
+    match s.execute(sql) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(r.fail("script", format!("step {step}: `{sql}` failed: {e}"))),
+    }
+}
+
+/// `COMMIT` the session's transaction. `Ok(true)` = committed; `Ok(false)`
+/// = the engine refused with an accepted typed abort (an injected fault at
+/// the frame fsync, or the log was crash-repaired while the transaction
+/// was open — a repair in one session dooms the frames of every other open
+/// transaction) and rolled the transaction back.
+fn do_commit(s: &mut Session, r: &Runner, step: usize) -> Result<bool, Discrepancy> {
+    if std::env::var_os("QYMERA_TXNFUZZ_TRACE").is_some() {
+        eprintln!("TRACE step {step} session {} : COMMIT (do_commit)", s.id());
+    }
+    match s.execute("COMMIT") {
+        Ok(_) => Ok(true),
+        Err(Error::Io(ref m)) if m.contains("injected") || m.contains("repaired") => {
+            if s.in_transaction() {
+                return Err(r.fail(
+                    "commit",
+                    format!("step {step}: refused COMMIT left the txn open ({m})"),
+                ));
+            }
+            Ok(false)
+        }
+        Err(e) => Err(r.fail("commit", format!("step {step}: COMMIT failed: {e}"))),
+    }
+}
+
+/// Copy the durable files into a fresh directory — a point-in-time crash
+/// image taken while the source stays open.
+fn snapshot_dir(src: &Path, seed: u64) -> PathBuf {
+    let dst = scratch_dir(seed).with_extension("crash");
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("snapshot dir");
+    for name in [WAL_FILE, CHECKPOINT_FILE] {
+        let from = src.join(name);
+        if from.exists() {
+            std::fs::copy(&from, dst.join(name)).expect("snapshot copy");
+        }
+    }
+    dst
+}
+
+fn reopen(dir: &Path, r: &Runner, what: &str) -> Result<Database, Discrepancy> {
+    Database::open_with(
+        dir,
+        DurabilityOptions {
+            fsync: FsyncPolicy::Commit,
+            checkpoint_every_bytes: 0,
+            ..DurabilityOptions::default()
+        },
+    )
+    .map_err(|e| r.fail(what, format!("{e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_seed_deterministic() {
+        for seed in 0..32 {
+            let a = TxnCase::generate(seed);
+            let b = TxnCase::generate(seed);
+            assert_eq!(a.durable, b.durable);
+            assert_eq!(a.interleaved, b.interleaved);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn case_space_covers_both_engines_and_both_shapes() {
+        let mut durable = std::collections::BTreeSet::new();
+        let mut shapes = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let c = TxnCase::generate(seed);
+            durable.insert(c.durable);
+            shapes.insert(c.interleaved);
+        }
+        assert_eq!(durable.len(), 2);
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn a_few_txn_cases_hold_the_contract() {
+        for seed in 0..6 {
+            if let Some(d) = run_txn_case(seed) {
+                panic!("ACID contract violated: {d}");
+            }
+        }
+    }
+}

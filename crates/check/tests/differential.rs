@@ -106,6 +106,17 @@ fn cancellation_corpus_holds_the_governance_contract() {
 }
 
 #[test]
+fn transaction_corpus_holds_the_acid_contract() {
+    let base = base_seed() ^ 0xAC1D;
+    let n = case_count(20);
+    for i in 0..n {
+        if let Some(d) = qymera_check::run_txn_case(base.wrapping_add(i as u64)) {
+            panic!("ACID contract violated: {d}");
+        }
+    }
+}
+
+#[test]
 fn budget_overshoot_stays_within_one_batch() {
     let base = base_seed() ^ 0xB4D6;
     let n = case_count(30);

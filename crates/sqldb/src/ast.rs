@@ -315,6 +315,15 @@ pub enum Statement {
     Query(Query),
     /// `EXPLAIN <query>` — returns the optimized plan as text rows.
     Explain(Query),
+    /// `BEGIN [TRANSACTION]` — open a multi-statement transaction.
+    Begin,
+    /// `COMMIT` — make every statement since `BEGIN` durable atomically.
+    Commit,
+    /// `ROLLBACK [TO [SAVEPOINT] name]` — discard the whole transaction, or
+    /// just the statements after the named savepoint.
+    Rollback { to_savepoint: Option<String> },
+    /// `SAVEPOINT name` — mark a partial-rollback point inside a transaction.
+    Savepoint { name: String },
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +565,13 @@ impl fmt::Display for Statement {
             }
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Commit => write!(f, "COMMIT"),
+            Statement::Rollback { to_savepoint: None } => write!(f, "ROLLBACK"),
+            Statement::Rollback { to_savepoint: Some(name) } => {
+                write!(f, "ROLLBACK TO SAVEPOINT {name}")
+            }
+            Statement::Savepoint { name } => write!(f, "SAVEPOINT {name}"),
         }
     }
 }

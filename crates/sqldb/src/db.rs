@@ -10,6 +10,7 @@
 //! assert_eq!(rs.rows().len(), 1);
 //! ```
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -28,8 +29,10 @@ use crate::storage::budget::MemoryBudget;
 use crate::storage::fault::FaultInjector;
 use crate::storage::spill::{Row, SpillDir};
 use crate::storage::wal::{
-    DurableStore, FsyncPolicy, Recovered, WalOp, DEFAULT_CHECKPOINT_BYTES,
+    CkptSource, DurableStore, FsyncPolicy, Recovered, WalOp, DEFAULT_CHECKPOINT_BYTES,
 };
+use crate::txn::lock::{LockGuard, LockTable};
+use crate::txn::{SavepointMark, TxnState, UndoEntry};
 use crate::value::Value;
 
 /// Plans deeper than this run their pull pipeline on a dedicated thread with
@@ -92,7 +95,7 @@ pub struct ResultSet {
 }
 
 impl ResultSet {
-    fn dml(affected: usize) -> Self {
+    pub(crate) fn dml(affected: usize) -> Self {
         ResultSet { columns: Vec::new(), rows: Vec::new(), affected }
     }
 
@@ -199,6 +202,12 @@ pub struct Database {
     /// Process slot on the durable directory (`QYMERA_DB_SLOTS`); held for
     /// the lifetime of the open, released (file removed) on drop.
     _slot: Option<govern::SlotGuard>,
+    /// Open transactions, keyed by session id. Session `0` is the plain
+    /// [`Database::execute`] caller; [`crate::txn::Session`]s get ids ≥ 1.
+    txns: HashMap<u64, TxnState>,
+    /// Table lock manager shared with [`crate::txn::SharedDb`] sessions
+    /// (the plain session never contends, so it skips lock acquisition).
+    locks: Arc<LockTable>,
 }
 
 /// Configuration for [`Database::open_with`].
@@ -281,6 +290,8 @@ impl Database {
             admission: AdmissionController::default(),
             query: QueryContext::unbounded(),
             _slot: None,
+            txns: HashMap::new(),
+            locks: Arc::new(LockTable::new()),
         }
     }
 
@@ -320,6 +331,8 @@ impl Database {
             admission: AdmissionController::default(),
             query: QueryContext::unbounded(),
             _slot: slot,
+            txns: HashMap::new(),
+            locks: Arc::new(LockTable::new()),
         };
         db.apply_recovered(recovered)?;
         db.durable = Some(store);
@@ -467,41 +480,151 @@ impl Database {
         q
     }
 
-    /// Serialize all tables into a new checkpoint image and truncate the
-    /// WAL behind it. Errors with [`Error::Unsupported`] on an in-memory
+    /// Serialize the **committed** state of all tables into a new
+    /// checkpoint image. Between transactions that is the live catalog and
+    /// the WAL is truncated behind the image; while a transaction is open
+    /// the image is built from the transactions' undo stacks (each table's
+    /// pre-transaction state) and the WAL is kept so the in-flight frames
+    /// stay replayable. Errors with [`Error::Unsupported`] on an in-memory
     /// database.
     pub fn checkpoint(&mut self) -> Result<()> {
-        let Some(store) = self.durable.as_mut() else {
+        if self.durable.is_none() {
             return Err(Error::Unsupported(
                 "checkpoint requires a database opened with a path".into(),
             ));
-        };
-        store.checkpoint(&self.catalog.tables_sorted())
+        }
+        let keep_wal = self.txns.values().any(|t| t.wal_txn.is_some());
+        let sources = self.committed_sources();
+        let store = self.durable.as_mut().expect("checked above");
+        store.checkpoint(&sources, keep_wal)
+    }
+
+    /// Whether the write-ahead log is poisoned (a failed truncate-repair
+    /// left it refusing appends). A poisoned log self-heals via a forced
+    /// checkpoint at the next statement boundary with no open transaction.
+    /// Always `false` for in-memory databases.
+    pub fn wal_poisoned(&self) -> bool {
+        self.durable.as_ref().is_some_and(DurableStore::is_poisoned)
+    }
+
+    /// The committed view of every table, sorted by name: the live catalog,
+    /// overridden per table by the *first* undo entry any open transaction
+    /// holds for it (strict 2PL guarantees at most one transaction has
+    /// touched a given table).
+    fn committed_sources(&self) -> Vec<CkptSource> {
+        enum View<'a> {
+            /// Mutated in-txn: the pre-transaction chunk snapshot.
+            Snapshot(&'a crate::table::TableUndo),
+            /// Created in-txn: absent from committed state.
+            Absent,
+            /// Dropped in-txn: the stashed table is the committed state.
+            Stashed(&'a crate::table::Table),
+        }
+        let mut views: HashMap<String, View> = HashMap::new();
+        for txn in self.txns.values() {
+            for entry in &txn.undo {
+                let (key, view) = match entry {
+                    UndoEntry::Mutated { table, undo } => {
+                        (table.to_ascii_lowercase(), View::Snapshot(undo))
+                    }
+                    UndoEntry::Created { name } => {
+                        (name.to_ascii_lowercase(), View::Absent)
+                    }
+                    UndoEntry::Dropped { table } => {
+                        (table.name().to_ascii_lowercase(), View::Stashed(table))
+                    }
+                };
+                // First touch wins: the oldest entry holds the state from
+                // before the transaction.
+                views.entry(key).or_insert(view);
+            }
+        }
+        let mut sources = Vec::new();
+        for t in self.catalog.tables_sorted() {
+            match views.get(&t.name().to_ascii_lowercase()) {
+                None => sources.push(CkptSource {
+                    name: t.name().to_string(),
+                    columns: t.columns().to_vec(),
+                    rows: t.row_count(),
+                    snapshot: t.snapshot(),
+                }),
+                Some(View::Snapshot(undo)) => sources.push(CkptSource {
+                    name: t.name().to_string(),
+                    columns: t.columns().to_vec(),
+                    rows: undo.rows(),
+                    snapshot: undo.snapshot(),
+                }),
+                // Created (or dropped-then-recreated) inside an open
+                // transaction: the live table is uncommitted.
+                Some(View::Absent) | Some(View::Stashed(_)) => {}
+            }
+        }
+        for view in views.values() {
+            if let View::Stashed(table) = view {
+                sources.push(CkptSource {
+                    name: table.name().to_string(),
+                    columns: table.columns().to_vec(),
+                    rows: table.row_count(),
+                    snapshot: table.snapshot(),
+                });
+            }
+        }
+        sources.sort_by(|a, b| a.name.cmp(&b.name));
+        sources
     }
 
     /// Auto-checkpoint after a committed mutation once the WAL is large.
-    /// Failures are swallowed: the statement already committed, the WAL
-    /// still covers everything, and the next trigger will retry.
+    /// Deferred while any transaction is open (a keep-tail checkpoint
+    /// cannot shrink the log, so re-triggering every statement would just
+    /// burn I/O). Failures are swallowed: the statement already committed,
+    /// the WAL still covers everything, and the next trigger will retry.
     fn maybe_auto_checkpoint(&mut self) {
-        if let Some(store) = self.durable.as_mut() {
-            if store.wants_checkpoint() {
-                let _ = store.checkpoint(&self.catalog.tables_sorted());
-            }
+        if !self.txns.is_empty() {
+            return;
+        }
+        if self.durable.as_ref().is_some_and(DurableStore::wants_checkpoint) {
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Self-heal a poisoned WAL (a failed truncate-repair left the log
+    /// refusing appends): once no transaction is open, force a full
+    /// checkpoint at the next statement boundary — the image captures the
+    /// current committed state and the log is reset behind it. Swallows
+    /// failures; the statement then surfaces the poisoned-log error and
+    /// the next statement retries the heal.
+    fn maybe_heal_poisoned(&mut self) {
+        if !self.txns.is_empty() {
+            return;
+        }
+        if self.durable.as_ref().is_some_and(DurableStore::is_poisoned) {
+            let _ = self.checkpoint();
         }
     }
 
     /// Debug builds: after any failed statement, the memory ledger must
-    /// hold exactly the live base tables (no leaked operator or rollback
-    /// residue) and the spill directory must be empty. Assumes the budget
-    /// is not shared with reservations outside this database (true for
-    /// every constructor here).
+    /// hold exactly the live base tables plus the tables stashed in open
+    /// transactions' undo stacks (a dropped table keeps its charge until
+    /// the transaction resolves) and the spill directory must be empty.
+    /// Assumes the budget is not shared with reservations outside this
+    /// database (true for every constructor here).
     #[cfg(debug_assertions)]
     fn assert_ledger_clean(&self) {
         let used = self.budget.used();
         let tables = self.catalog.total_bytes();
+        let stashed: usize = self
+            .txns
+            .values()
+            .flat_map(|t| t.undo.iter())
+            .map(|e| match e {
+                UndoEntry::Dropped { table } => table.bytes(),
+                _ => 0,
+            })
+            .sum();
         debug_assert!(
-            used == tables,
-            "memory ledger leak after error: used {used} != base tables {tables}"
+            used == tables + stashed,
+            "memory ledger leak after error: used {used} != base tables {tables} \
+             + stashed {stashed}"
         );
         debug_assert_eq!(
             self.spill.live_files(),
@@ -669,25 +792,401 @@ impl Database {
     /// [`Error::Cancelled`] / [`Error::Timeout`] with the same guarantees as
     /// any other statement error — ledger restored, no spill residue, no
     /// partial WAL frame — so an immediate retry is always valid.
+    /// `BEGIN` opens a multi-statement transaction for this handle
+    /// (session 0); every later statement joins its WAL frame and undo
+    /// scope until `COMMIT` / `ROLLBACK`. Inside an open transaction **any
+    /// statement error aborts the whole transaction** — Postgres-style
+    /// uniform abort — except transaction-control bookkeeping mistakes
+    /// (`BEGIN` twice, `COMMIT` with nothing open, `ROLLBACK TO` an
+    /// unknown savepoint), which leave the transaction as it was.
     pub fn execute_statement(&mut self, st: Statement) -> Result<ResultSet> {
+        self.execute_for_session(0, st, Vec::new())
+    }
+
+    /// Whether this handle (session 0) has an open transaction.
+    pub fn in_transaction(&self) -> bool {
+        self.txns.contains_key(&0)
+    }
+
+    /// The lock table sessions coordinate through (see
+    /// [`crate::txn::SharedDb`]).
+    pub fn lock_table(&self) -> Arc<LockTable> {
+        Arc::clone(&self.locks)
+    }
+
+    /// Whether `sess` has an open transaction.
+    pub(crate) fn session_in_txn(&self, sess: u64) -> bool {
+        self.txns.contains_key(&sess)
+    }
+
+    /// Execute one statement for session `sess`, holding `guards` (the
+    /// statement's pre-acquired table locks — empty for session 0, which
+    /// owns the handle exclusively and never contends).
+    pub(crate) fn execute_for_session(
+        &mut self,
+        sess: u64,
+        st: Statement,
+        guards: Vec<LockGuard>,
+    ) -> Result<ResultSet> {
         self.statements += 1;
         let _grant = self.admission.admit()?;
+        self.maybe_heal_poisoned();
         let query = self.begin_query();
-        // The store is taken out for the duration so mutation arms can
-        // borrow it alongside the catalog.
-        let mut store = self.durable.take();
-        let result = query
-            .check()
-            .and_then(|()| self.execute_with_store(st, store.as_mut()));
-        self.durable = store;
-        #[cfg(debug_assertions)]
-        if result.is_err() {
-            self.assert_ledger_clean();
+
+        // Transaction control is bookkeeping: handled before the uniform
+        // abort-on-error rule below, so its errors never abort anything.
+        match st {
+            Statement::Begin => return self.txn_begin(sess, guards),
+            Statement::Commit => return self.txn_commit(sess),
+            Statement::Rollback { to_savepoint } => {
+                return match to_savepoint {
+                    None => self.txn_rollback(sess),
+                    Some(name) => self.txn_rollback_to(sess, &name),
+                }
+            }
+            Statement::Savepoint { name } => return self.txn_savepoint(sess, name),
+            _ => {}
         }
-        if result.is_ok() {
-            self.maybe_auto_checkpoint();
+
+        if self.txns.contains_key(&sess) {
+            // Inside an open transaction: the statement's locks join the
+            // transaction (strict 2PL — held until it resolves), and any
+            // error aborts the whole transaction with the full cleanup
+            // contract: ledger restored, no orphan spill files, the WAL
+            // frame rolled off or marked aborted. An immediate retry of
+            // the transaction is always valid.
+            self.txns
+                .get_mut(&sess)
+                .expect("checked above")
+                .locks
+                .extend(guards);
+            let result = query.check().and_then(|()| self.execute_in_txn(sess, st));
+            if result.is_err() {
+                self.abort_session_txn(sess);
+                #[cfg(debug_assertions)]
+                self.assert_ledger_clean();
+            }
+            result
+        } else {
+            // Auto-commit: one statement, one WAL frame; `guards` release
+            // when this call returns. The store is taken out for the
+            // duration so mutation arms can borrow it alongside the
+            // catalog.
+            let mut store = self.durable.take();
+            let result = query
+                .check()
+                .and_then(|()| self.execute_with_store(st, store.as_mut()));
+            self.durable = store;
+            #[cfg(debug_assertions)]
+            if result.is_err() {
+                self.assert_ledger_clean();
+            }
+            if result.is_ok() {
+                self.maybe_auto_checkpoint();
+            }
+            drop(guards);
+            result
         }
-        result
+    }
+
+    /// Open a transaction for `sess`.
+    fn txn_begin(&mut self, sess: u64, guards: Vec<LockGuard>) -> Result<ResultSet> {
+        if self.txns.contains_key(&sess) {
+            return Err(Error::Plan("BEGIN: a transaction is already open".into()));
+        }
+        let epoch = self.durable.as_ref().map_or(0, DurableStore::repair_epoch);
+        let state = TxnState { epoch, locks: guards, ..TxnState::default() };
+        self.txns.insert(sess, state);
+        Ok(ResultSet::dml(0))
+    }
+
+    /// Commit `sess`'s transaction: make its WAL frame durable, then drop
+    /// the undo stack (releasing stashed tables) and every lock. A
+    /// read-only transaction never opened a frame and commits without
+    /// touching the log. A failed commit aborts the transaction — memory
+    /// is rolled back to match what recovery would replay.
+    fn txn_commit(&mut self, sess: u64) -> Result<ResultSet> {
+        let Some(state) = self.txns.get(&sess) else {
+            return Err(Error::Plan("COMMIT: no open transaction".into()));
+        };
+        if let (Some(store), Some(txn)) = (self.durable.as_mut(), state.wal_txn) {
+            if store.repair_epoch() != state.epoch {
+                // A crash-repair truncation while this transaction was
+                // open may have cut its records; the frame cannot be
+                // trusted, so refuse to commit it.
+                self.abort_session_txn(sess);
+                return Err(Error::Io(
+                    "transaction aborted: the write-ahead log was repaired while \
+                     it was open; retry the transaction"
+                        .into(),
+                ));
+            }
+            if let Err(e) = store.commit(txn) {
+                self.abort_session_txn(sess);
+                return Err(e);
+            }
+        }
+        self.txns.remove(&sess);
+        self.maybe_auto_checkpoint();
+        Ok(ResultSet::dml(0))
+    }
+
+    /// `ROLLBACK`: abort `sess`'s transaction.
+    fn txn_rollback(&mut self, sess: u64) -> Result<ResultSet> {
+        if !self.txns.contains_key(&sess) {
+            return Err(Error::Plan("ROLLBACK: no open transaction".into()));
+        }
+        self.abort_session_txn(sess);
+        Ok(ResultSet::dml(0))
+    }
+
+    /// `SAVEPOINT name`: mark the current undo/WAL position.
+    fn txn_savepoint(&mut self, sess: u64, name: String) -> Result<ResultSet> {
+        let wal_len = self.durable.as_ref().map_or(0, DurableStore::wal_len);
+        let Some(state) = self.txns.get_mut(&sess) else {
+            return Err(Error::Plan("SAVEPOINT: no open transaction".into()));
+        };
+        state.savepoints.push(SavepointMark {
+            name,
+            undo_len: state.undo.len(),
+            ops_logged: state.ops_logged,
+            wal_len,
+            wal_begun: state.wal_txn.is_some(),
+        });
+        Ok(ResultSet::dml(0))
+    }
+
+    /// `ROLLBACK TO SAVEPOINT name`: rewind the transaction — WAL frame
+    /// and in-memory state — to the most recent savepoint with that name.
+    /// The savepoint survives (it can be rolled back to again); savepoints
+    /// set after it are discarded. An unknown name is a bookkeeping error
+    /// and leaves the transaction untouched.
+    fn txn_rollback_to(&mut self, sess: u64, name: &str) -> Result<ResultSet> {
+        let Some(state) = self.txns.get_mut(&sess) else {
+            return Err(Error::Plan(
+                "ROLLBACK TO SAVEPOINT: no open transaction".into(),
+            ));
+        };
+        let Some(idx) = state
+            .savepoints
+            .iter()
+            .rposition(|m| m.name.eq_ignore_ascii_case(name))
+        else {
+            return Err(Error::Plan(format!("no such savepoint: {name}")));
+        };
+        let drop_ops = state.ops_logged - state.savepoints[idx].ops_logged;
+        let to_len = state.savepoints[idx].wal_len;
+        // A savepoint set before the frame's lazy `Begin` record cannot be
+        // truncated to (it would cut into the record); abandon the frame
+        // instead — a later op opens a fresh one.
+        let cross_begin = !state.savepoints[idx].wal_begun && state.wal_txn.is_some();
+        let wal_txn = state.wal_txn;
+        let epoch = state.epoch;
+        if let (Some(store), Some(txn)) = (self.durable.as_mut(), wal_txn) {
+            if store.repair_epoch() != epoch {
+                // A crash-repair truncation cut (some of) this frame's
+                // bytes while it was open: every savepoint's recorded WAL
+                // offset is stale geometry, and the frame can never commit
+                // (`txn_commit` refuses on the same mismatch). Leave the
+                // commit-less remainder for recovery to drop — truncating
+                // through a stale offset could land mid-record or past the
+                // end of the repaired log and destroy committed frames
+                // behind the damage.
+            } else if cross_begin {
+                store.abort(txn);
+            } else if drop_ops > 0 {
+                if let Err(e) = store.rollback_ops(txn, drop_ops, to_len) {
+                    // The log cannot represent the partial rollback
+                    // (poisoned mid-truncate): the whole transaction
+                    // aborts so memory and recovery agree.
+                    self.abort_session_txn(sess);
+                    return Err(e);
+                }
+            }
+        }
+        let state = self.txns.get_mut(&sess).expect("still open");
+        if cross_begin {
+            state.wal_txn = None;
+        }
+        let mark_undo = state.savepoints[idx].undo_len;
+        let mark_ops = state.savepoints[idx].ops_logged;
+        state.savepoints.truncate(idx + 1);
+        state.ops_logged = mark_ops;
+        let tail = state.undo.split_off(mark_undo);
+        self.apply_undo(tail);
+        Ok(ResultSet::dml(0))
+    }
+
+    /// Abort `sess`'s transaction (no-op when none is open): roll the WAL
+    /// frame off the log, undo every in-memory effect in reverse, release
+    /// stashed tables back into the catalog, and drop all locks. Never
+    /// fails — recovery ignores a commit-less frame even when the log
+    /// cannot be written to.
+    pub(crate) fn abort_session_txn(&mut self, sess: u64) {
+        let Some(state) = self.txns.remove(&sess) else { return };
+        if let (Some(store), Some(txn)) = (self.durable.as_mut(), state.wal_txn) {
+            if store.repair_epoch() == state.epoch {
+                store.abort(txn);
+            }
+            // else: a repair already rolled the log back past (some of)
+            // this frame's bytes; the commit-less remainder is dropped at
+            // recovery, so appending an Abort record is pointless.
+        }
+        self.apply_undo(state.undo);
+        // `state.locks` drop here, releasing the transaction's tables.
+    }
+
+    /// Apply undo entries (a full stack or a savepoint tail), newest
+    /// first.
+    fn apply_undo(&mut self, entries: Vec<UndoEntry>) {
+        for entry in entries.into_iter().rev() {
+            match entry {
+                UndoEntry::Mutated { table, undo } => {
+                    if let Ok(t) = self.catalog.get_mut(&table) {
+                        t.restore(undo);
+                    }
+                }
+                UndoEntry::Created { name } => {
+                    let _ = self.catalog.drop_table(&name, true);
+                }
+                UndoEntry::Dropped { table } => self.catalog.put_table(table),
+            }
+        }
+    }
+
+    /// Log one op into `sess`'s WAL frame, opening the frame lazily at the
+    /// first op (so read-only transactions never touch the log), and count
+    /// it for savepoint arithmetic. No-op on an in-memory database.
+    fn log_in_txn(
+        &mut self,
+        sess: u64,
+        log: impl FnOnce(&mut DurableStore, u64) -> Result<()>,
+    ) -> Result<()> {
+        let Some(store) = self.durable.as_mut() else { return Ok(()) };
+        let state = self.txns.get_mut(&sess).expect("open transaction");
+        let txn = match state.wal_txn {
+            Some(t) => t,
+            None => {
+                let t = store.begin()?;
+                state.wal_txn = Some(t);
+                // The frame's bytes start here: only repairs from now on
+                // can cut them.
+                state.epoch = store.repair_epoch();
+                t
+            }
+        };
+        log(store, txn)?;
+        state.ops_logged += 1;
+        Ok(())
+    }
+
+    /// One statement inside `sess`'s open transaction. Mutations follow
+    /// log → apply → push-undo: any error leaves the frame commit-less and
+    /// the caller aborts the whole transaction, which unwinds every undo
+    /// entry — so no per-statement rollback is needed here.
+    fn execute_in_txn(&mut self, sess: u64, st: Statement) -> Result<ResultSet> {
+        match st {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                if self.catalog.contains(&name) {
+                    // Duplicate: an IF NOT EXISTS no-op or an error —
+                    // nothing is logged either way (the error aborts the
+                    // transaction, same as any other statement failure).
+                    self.catalog.create_table(
+                        &name,
+                        columns,
+                        if_not_exists,
+                        self.budget.clone(),
+                    )?;
+                    return Ok(ResultSet::dml(0));
+                }
+                self.log_in_txn(sess, |s, txn| s.log_create(txn, &name, &columns))?;
+                self.catalog.create_table(&name, columns, false, self.budget.clone())?;
+                self.txns
+                    .get_mut(&sess)
+                    .expect("open transaction")
+                    .undo
+                    .push(UndoEntry::Created { name });
+                self.query.check()?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                if !self.catalog.contains(&name) {
+                    self.catalog.drop_table(&name, if_exists)?;
+                    return Ok(ResultSet::dml(0));
+                }
+                self.log_in_txn(sess, |s, txn| s.log_drop(txn, &name))?;
+                let stash = self.catalog.drop_table(&name, if_exists)?;
+                if let Some(table) = stash {
+                    // The stash keeps charging the budget until the
+                    // transaction resolves: rollback puts it back intact.
+                    self.txns
+                        .get_mut(&sess)
+                        .expect("open transaction")
+                        .undo
+                        .push(UndoEntry::Dropped { table });
+                }
+                self.query.check()?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let evaluated = self.eval_insert_rows(&table, columns.as_deref(), rows)?;
+                self.insert_rows_in_txn(sess, &table, evaluated)
+            }
+            Statement::Delete { table, where_clause } => {
+                let schema = self.catalog.get(&table)?.schema();
+                if let Some(w) = &where_clause {
+                    bind(w, &schema)?;
+                }
+                let text = where_clause.as_ref().map(Expr::to_string);
+                self.log_in_txn(sess, |s, txn| {
+                    s.log_delete(txn, &table, text.as_deref())
+                })?;
+                let undo = self.catalog.get(&table)?.undo_state();
+                let n = self.run_delete(&table, where_clause.as_ref())?;
+                self.txns
+                    .get_mut(&sess)
+                    .expect("open transaction")
+                    .undo
+                    .push(UndoEntry::Mutated { table, undo });
+                self.query.check()?;
+                Ok(ResultSet::dml(n))
+            }
+            st @ (Statement::Query(_) | Statement::Explain(_)) => {
+                // Reads don't touch the frame.
+                self.execute_with_store(st, None)
+            }
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback { .. }
+            | Statement::Savepoint { .. } => Err(Error::Internal(
+                "transaction control must go through execute_for_session".into(),
+            )),
+        }
+    }
+
+    /// Shared body of `INSERT` and [`Database::insert_rows`] inside an
+    /// open transaction: rows are already evaluated and in table order.
+    fn insert_rows_in_txn(
+        &mut self,
+        sess: u64,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<ResultSet> {
+        if rows.is_empty() {
+            return Ok(ResultSet::dml(0));
+        }
+        self.catalog.get(table)?; // validate before logging
+        self.log_in_txn(sess, |s, txn| s.log_insert(txn, table, &rows))?;
+        let t = self.catalog.get_mut(table)?;
+        let undo = t.undo_state();
+        let n = t.load_rows(rows)?; // atomic: an error inserts nothing
+        self.txns
+            .get_mut(&sess)
+            .expect("open transaction")
+            .undo
+            .push(UndoEntry::Mutated { table: table.to_string(), undo });
+        self.query.check()?;
+        Ok(ResultSet::dml(n))
     }
 
     fn execute_with_store(
@@ -708,11 +1207,11 @@ impl Database {
                     )?;
                     return Ok(ResultSet::dml(0));
                 }
-                let seq = match store.as_deref_mut() {
+                let txn = match store.as_deref_mut() {
                     Some(s) => {
-                        let seq = s.begin()?;
-                        s.log_create(&name, &columns)?;
-                        Some(seq)
+                        let txn = s.begin()?;
+                        s.log_create(txn, &name, &columns)?;
+                        Some(txn)
                     }
                     None => None,
                 };
@@ -727,22 +1226,22 @@ impl Database {
                     Err(e) => {
                         // Validation rejected it (dup/empty columns): the
                         // frame stays uncommitted and is truncated away.
-                        if let Some(s) = store.as_deref_mut() {
-                            s.abort();
+                        if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                            s.abort(txn);
                         }
                         return Err(e);
                     }
                 }
-                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
                     // Last cancel point before the frame becomes durable: a
                     // cancelled statement must never commit, so abort the
                     // frame (truncate-repair) and undo the in-memory apply.
                     if let Err(e) = self.query.check() {
-                        s.abort();
+                        s.abort(txn);
                         self.catalog.drop_table(&name, true)?;
                         return Err(e);
                     }
-                    if let Err(e) = s.commit(seq) {
+                    if let Err(e) = s.commit(txn) {
                         self.catalog.drop_table(&name, true)?;
                         return Err(e);
                     }
@@ -754,26 +1253,26 @@ impl Database {
                     self.catalog.drop_table(&name, if_exists)?;
                     return Ok(ResultSet::dml(0));
                 }
-                let seq = match store.as_deref_mut() {
+                let txn = match store.as_deref_mut() {
                     Some(s) => {
-                        let seq = s.begin()?;
-                        s.log_drop(&name)?;
-                        Some(seq)
+                        let txn = s.begin()?;
+                        s.log_drop(txn, &name)?;
+                        Some(txn)
                     }
                     None => None,
                 };
                 // Keep the removed table alive until the frame commits so
                 // a failed commit can restore it — budget charge included.
                 let stash = self.catalog.drop_table(&name, if_exists)?;
-                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
                     if let Err(e) = self.query.check() {
-                        s.abort();
+                        s.abort(txn);
                         if let Some(t) = stash {
                             self.catalog.put_table(t);
                         }
                         return Err(e);
                     }
-                    if let Err(e) = s.commit(seq) {
+                    if let Err(e) = s.commit(txn) {
                         if let Some(t) = stash {
                             self.catalog.put_table(t);
                         }
@@ -787,11 +1286,11 @@ impl Database {
                 // cannot observe or modify state, and the WAL records
                 // concrete values rather than expressions.
                 let evaluated = self.eval_insert_rows(&table, columns.as_deref(), rows)?;
-                let seq = match store.as_deref_mut() {
+                let txn = match store.as_deref_mut() {
                     Some(s) if !evaluated.is_empty() => {
-                        let seq = s.begin()?;
-                        s.log_insert(&table, &evaluated)?;
-                        Some(seq)
+                        let txn = s.begin()?;
+                        s.log_insert(txn, &table, &evaluated)?;
+                        Some(txn)
                     }
                     _ => None,
                 };
@@ -801,19 +1300,19 @@ impl Database {
                     Ok(n) => n,
                     Err(e) => {
                         // load_rows is atomic — the table is untouched.
-                        if let Some(s) = store.as_deref_mut() {
-                            s.abort();
+                        if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                            s.abort(txn);
                         }
                         return Err(e);
                     }
                 };
-                if let (Some(s), Some(seq)) = (store.as_deref_mut(), seq) {
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
                     if let Err(e) = self.query.check() {
-                        s.abort();
+                        s.abort(txn);
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
                     }
-                    if let Err(e) = s.commit(seq) {
+                    if let Err(e) = s.commit(txn) {
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
                     }
@@ -826,12 +1325,12 @@ impl Database {
                 if let Some(w) = &where_clause {
                     bind(w, &schema)?;
                 }
-                let seq = match store.as_deref_mut() {
+                let txn = match store.as_deref_mut() {
                     Some(s) => {
-                        let seq = s.begin()?;
+                        let txn = s.begin()?;
                         let text = where_clause.as_ref().map(Expr::to_string);
-                        s.log_delete(&table, text.as_deref())?;
-                        Some(seq)
+                        s.log_delete(txn, &table, text.as_deref())?;
+                        Some(txn)
                     }
                     None => None,
                 };
@@ -840,19 +1339,19 @@ impl Database {
                     Ok(n) => n,
                     Err(e) => {
                         // delete_where is atomic on predicate errors.
-                        if let Some(s) = store.as_deref_mut() {
-                            s.abort();
+                        if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                            s.abort(txn);
                         }
                         return Err(e);
                     }
                 };
-                if let (Some(s), Some(seq)) = (store, seq) {
+                if let (Some(s), Some(txn)) = (store, txn) {
                     if let Err(e) = self.query.check() {
-                        s.abort();
+                        s.abort(txn);
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
                     }
-                    if let Err(e) = s.commit(seq) {
+                    if let Err(e) = s.commit(txn) {
                         self.catalog.get_mut(&table)?.restore(undo);
                         return Err(e);
                     }
@@ -883,6 +1382,12 @@ impl Database {
                 self.rows_returned += rows.len() as u64;
                 Ok(ResultSet { columns: schema.names(), rows, affected: 0 })
             }
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback { .. }
+            | Statement::Savepoint { .. } => Err(Error::Internal(
+                "transaction control must go through execute_for_session".into(),
+            )),
         }
     }
 
@@ -902,7 +1407,15 @@ impl Database {
     /// Execution half of [`Self::create_table_as`] (runs on the execution
     /// stack for deep plans).
     fn create_table_as_exec(&mut self, name: &str, plan: Plan) -> Result<usize> {
+        if self.in_transaction() {
+            // CTAS frames span many streamed chunks; splicing that into an
+            // open transaction's frame is not supported.
+            return Err(Error::Unsupported(
+                "CREATE TABLE AS inside an open transaction".into(),
+            ));
+        }
         let _grant = self.admission.admit()?;
+        self.maybe_heal_poisoned();
         let query = self.begin_query();
         let mut store = self.durable.take();
         let result = query
@@ -950,19 +1463,19 @@ impl Database {
             .into_iter()
             .zip(types)
             .collect();
-        let seq = match store.as_deref_mut() {
+        let txn = match store.as_deref_mut() {
             Some(s) => {
-                let seq = s.begin()?;
-                s.log_create(name, &columns)?;
-                Some(seq)
+                let txn = s.begin()?;
+                s.log_create(txn, name, &columns)?;
+                Some(txn)
             }
             None => None,
         };
         self.catalog
             .create_table(name, columns, false, self.budget.clone())
             .inspect_err(|_| {
-                if let Some(s) = store.as_deref_mut() {
-                    s.abort();
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                    s.abort(txn);
                 }
             })?;
 
@@ -986,25 +1499,25 @@ impl Database {
                 if buf.is_empty() {
                     break;
                 }
-                if let Some(s) = store.as_deref_mut() {
-                    s.log_insert(name, &buf)?;
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                    s.log_insert(txn, name, &buf)?;
                 }
                 // `load_rows` coerces and appends straight into the table's
                 // typed column builders (chunked columnar storage).
                 inserted += db.catalog.get_mut(name)?.load_rows(std::mem::take(&mut buf))?;
             }
-            if let Some(s) = store.as_deref_mut() {
+            if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
                 // Last cancel point before the whole CTAS frame commits.
                 db.query.check()?;
-                s.commit(seq.unwrap_or_default())?;
+                s.commit(txn)?;
             }
             Ok(inserted)
         };
         match fill(self, &mut store) {
             Ok(n) => Ok(n),
             Err(e) => {
-                if let Some(s) = store {
-                    s.abort();
+                if let (Some(s), Some(txn)) = (store, txn) {
+                    s.abort(txn);
                 }
                 self.catalog.drop_table(name, true)?;
                 Err(e)
@@ -1019,7 +1532,22 @@ impl Database {
     /// database is durable.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
         let _grant = self.admission.admit()?;
+        self.maybe_heal_poisoned();
         let query = self.begin_query();
+        if self.in_transaction() {
+            // Joins the open transaction's frame and undo scope, exactly
+            // like an `INSERT` statement (errors abort the transaction).
+            let result = query
+                .check()
+                .and_then(|()| self.insert_rows_in_txn(0, table, rows))
+                .map(|rs| rs.affected());
+            if result.is_err() {
+                self.abort_session_txn(0);
+                #[cfg(debug_assertions)]
+                self.assert_ledger_clean();
+            }
+            return result;
+        }
         let mut store = self.durable.take();
         let result = query
             .check()
@@ -1041,36 +1569,36 @@ impl Database {
         rows: Vec<Row>,
         mut store: Option<&mut DurableStore>,
     ) -> Result<usize> {
-        let seq = match store.as_deref_mut() {
+        let txn = match store.as_deref_mut() {
             Some(s) if !rows.is_empty() => {
-                let seq = s.begin()?;
-                s.log_insert(table, &rows)?;
-                Some(seq)
+                let txn = s.begin()?;
+                s.log_insert(txn, table, &rows)?;
+                Some(txn)
             }
             _ => None,
         };
         let t = self.catalog.get_mut(table).inspect_err(|_| {
-            if let Some(s) = store.as_deref_mut() {
-                s.abort();
+            if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                s.abort(txn);
             }
         })?;
         let undo = t.undo_state();
         let n = match t.load_rows(rows) {
             Ok(n) => n,
             Err(e) => {
-                if let Some(s) = store.as_deref_mut() {
-                    s.abort();
+                if let (Some(s), Some(txn)) = (store.as_deref_mut(), txn) {
+                    s.abort(txn);
                 }
                 return Err(e);
             }
         };
-        if let (Some(s), Some(seq)) = (store, seq) {
+        if let (Some(s), Some(txn)) = (store, txn) {
             if let Err(e) = self.query.check() {
-                s.abort();
+                s.abort(txn);
                 self.catalog.get_mut(table)?.restore(undo);
                 return Err(e);
             }
-            if let Err(e) = s.commit(seq) {
+            if let Err(e) = s.commit(txn) {
                 self.catalog.get_mut(table)?.restore(undo);
                 return Err(e);
             }

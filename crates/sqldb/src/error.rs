@@ -43,6 +43,17 @@ pub enum Error {
     /// saturate the `max` concurrent limit, even after the bounded
     /// retry/backoff queue. The statement never started executing.
     Overloaded { active: usize, max: usize },
+    /// The lock table chose this transaction as the deadlock victim: waiting
+    /// for `table` would close a cycle in the waits-for graph, and this
+    /// transaction is the youngest participant. The transaction has been
+    /// rolled back (locks released, tables restored) and an immediate retry
+    /// of the whole transaction is valid.
+    Deadlock { table: String },
+    /// A table lock could not be acquired within the bounded wait (`ms` is
+    /// the configured lock timeout). Same rollback contract as
+    /// [`Error::Deadlock`]: the transaction has been aborted and may be
+    /// retried immediately.
+    LockTimeout { table: String, ms: u64 },
     /// Feature recognized but not supported by this engine.
     Unsupported(String),
     /// An engine invariant was violated. Reaching this is a bug, but it
@@ -82,6 +93,14 @@ impl fmt::Display for Error {
             Error::Overloaded { active, max } => write!(
                 f,
                 "overloaded: {active} of {max} concurrent query grants in use"
+            ),
+            Error::Deadlock { table } => write!(
+                f,
+                "deadlock: transaction rolled back while waiting for table {table}; retry the transaction"
+            ),
+            Error::LockTimeout { table, ms } => write!(
+                f,
+                "lock timeout: could not lock table {table} within {ms} ms; transaction rolled back"
             ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),

@@ -36,6 +36,8 @@ pub mod schema;
 pub mod storage;
 #[warn(missing_docs)]
 pub mod table;
+#[warn(missing_docs)]
+pub mod txn;
 pub mod value;
 pub mod vexpr;
 
@@ -43,6 +45,7 @@ pub use bigbits::BigBits;
 pub use db::{Database, DbStats, DurabilityOptions, ExecPath, ResultSet};
 pub use error::{Error, Result};
 pub use exec::govern::{AdmissionController, AdmissionGrant, CancelHandle, QueryContext};
+pub use txn::{LockMode, LockTable, Session, SharedDb};
 pub use storage::budget::MemoryBudget;
 pub use storage::fault::{FaultInjector, FaultKind, FaultSchedule, FaultSite};
 pub use storage::wal::FsyncPolicy;

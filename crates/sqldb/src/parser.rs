@@ -162,6 +162,35 @@ impl Parser {
         if self.eat_kw("EXPLAIN") {
             return Ok(Statement::Explain(self.query()?));
         }
+        if self.eat_kw("BEGIN") || self.eat_kw("START") {
+            // BEGIN [TRANSACTION | WORK] / START TRANSACTION
+            if !self.eat_kw("TRANSACTION") {
+                self.eat_kw("WORK");
+            }
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") || self.eat_kw("END") {
+            if !self.eat_kw("TRANSACTION") {
+                self.eat_kw("WORK");
+            }
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            if !self.eat_kw("TRANSACTION") {
+                self.eat_kw("WORK");
+            }
+            let to_savepoint = if self.eat_kw("TO") {
+                self.eat_kw("SAVEPOINT");
+                Some(self.ident("savepoint name")?)
+            } else {
+                None
+            };
+            return Ok(Statement::Rollback { to_savepoint });
+        }
+        if self.eat_kw("SAVEPOINT") {
+            let name = self.ident("savepoint name")?;
+            return Ok(Statement::Savepoint { name });
+        }
         if self.peek_kw("SELECT") || self.peek_kw("WITH") || matches!(self.peek(), TokenKind::LParen)
         {
             return Ok(Statement::Query(self.query()?));
@@ -827,6 +856,38 @@ mod tests {
         assert_eq!(sel.projection.len(), 3);
         assert_eq!(sel.joins.len(), 1);
         assert_eq!(sel.group_by.len(), 1);
+    }
+
+    #[test]
+    fn parses_transaction_statements() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("begin transaction").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("START TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("COMMIT WORK").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("END").unwrap(), Statement::Commit);
+        assert_eq!(
+            parse_statement("ROLLBACK").unwrap(),
+            Statement::Rollback { to_savepoint: None }
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO sp1").unwrap(),
+            Statement::Rollback { to_savepoint: Some("sp1".into()) }
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO SAVEPOINT sp1").unwrap(),
+            Statement::Rollback { to_savepoint: Some("sp1".into()) }
+        );
+        assert_eq!(
+            parse_statement("SAVEPOINT mark").unwrap(),
+            Statement::Savepoint { name: "mark".into() }
+        );
+        assert!(parse_statement("SAVEPOINT").is_err());
+        // Round-trip through the pretty-printer.
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK", "ROLLBACK TO SAVEPOINT sp1", "SAVEPOINT sp1"] {
+            let st = parse_statement(sql).unwrap();
+            assert_eq!(parse_statement(&st.to_string()).unwrap(), st);
+        }
     }
 
     #[test]

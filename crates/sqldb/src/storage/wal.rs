@@ -5,33 +5,44 @@
 //!
 //! * `wal.qwl` — the write-ahead log. A flat sequence of checksummed,
 //!   length-prefixed records: `[u32 len][u32 crc32(payload)][payload]`.
-//!   Statements are framed by `Begin{seq}` / `Commit{seq}` records around
-//!   their logical payloads (`CreateTable`, `DropTable`, `Insert`,
-//!   `Delete`), so recovery replays exactly the **committed prefix**: a
-//!   frame with no matching `Commit` — because the process died mid-frame —
-//!   is ignored, and a torn or corrupted record ends replay at the last
-//!   good boundary (the tail past it is discarded).
+//!   Work is framed by **transactions**: a `Begin{txn}` record opens a
+//!   frame, logical payloads (`CreateTable`, `DropTable`, `Insert`,
+//!   `Delete`) each carry the `txn` id they belong to, and the frame ends
+//!   with `Commit{txn, commit_seq}` (durable) or `Abort{txn}` (discarded).
+//!   An auto-commit statement is simply a one-statement transaction.
+//!   Frames from concurrent sessions may interleave freely; recovery keys
+//!   pending frames by `txn` id and replays exactly the **committed
+//!   frames in commit order**: a frame with no `Commit` — because the
+//!   process died mid-transaction — is ignored, an `Abort`ed frame is
+//!   dropped, a `RollbackSp{txn, n}` record discards that frame's last
+//!   `n` ops (crash-safe savepoint rollback), and a torn or corrupted
+//!   record ends replay at the last good boundary (the tail past it is
+//!   discarded).
 //! * `checkpoint.qck` — a full serialized image of every table, stamped
-//!   with the statement sequence number it covers. Produced by walking each
+//!   with the commit sequence number it covers. Produced by walking each
 //!   table's O(1) `Arc` chunk snapshot (checkpointing never blocks or
 //!   copies table data beyond the serialization itself) and published
 //!   atomically: written to `checkpoint.tmp`, fsynced, renamed over the old
 //!   image, directory fsynced, and only then is the WAL truncated behind
 //!   it. A crash in *any* window of that protocol recovers correctly: the
 //!   tmp file is ignored and deleted, and replay skips WAL frames whose
-//!   `seq` the surviving checkpoint already covers.
+//!   `commit_seq` the surviving checkpoint already covers. While a
+//!   transaction is open a checkpoint runs in *keep-tail* mode: the image
+//!   serializes only committed state and the WAL is left intact so the
+//!   in-flight frames stay replayable.
 //! * `checkpoint.tmp` — transient; deleted on open.
 //!
 //! Durability knob: `QYMERA_FSYNC` = `always` (fsync every record),
-//! `commit` (default — fsync once per statement frame), or `off` (no
+//! `commit` (default — fsync once per committed frame), or `off` (no
 //! fsync; crash consistency still holds via checksums, but the tail of
-//! acknowledged statements may be lost with the OS cache).
+//! acknowledged transactions may be lost with the OS cache).
 //!
 //! Every file operation goes through the shared
 //! [`FaultInjector`], which is how
 //! the crash-matrix test kills the engine at every one of these steps and
 //! asserts recovery.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -43,7 +54,7 @@ use crate::ast::DataType;
 use crate::error::{Error, Result};
 use crate::storage::fault::{FaultInjector, FaultSite};
 use crate::storage::spill::{decode_row, encode_row, Row};
-use crate::table::Table;
+use crate::table::TableSnapshot;
 
 /// WAL file name inside a database directory.
 pub const WAL_FILE: &str = "wal.qwl";
@@ -157,10 +168,18 @@ const TAG_CREATE: u8 = 3;
 const TAG_DROP: u8 = 4;
 const TAG_INSERT: u8 = 5;
 const TAG_DELETE: u8 = 6;
+/// Transaction rolled back: replay drops its pending frame. Written only
+/// when the frame's bytes cannot simply be truncated off the tail (another
+/// session's records interleave with them).
+const TAG_ABORT: u8 = 7;
+/// `ROLLBACK TO SAVEPOINT`: replay drops the last `n` ops of the pending
+/// frame. Same truncate-vs-record rule as `Abort`.
+const TAG_RBSP: u8 = 8;
 
-/// A logical operation recovered from the WAL. One committed statement
+/// A logical operation recovered from the WAL. An auto-commit statement
 /// frame carries one of these — except CTAS, which logs a `CreateTable`
-/// followed by one `Insert` per streamed chunk, all inside one frame.
+/// followed by one `Insert` per streamed chunk; a multi-statement
+/// transaction carries one per logged statement.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field names mirror the statements they log
 pub enum WalOp {
@@ -173,12 +192,16 @@ pub enum WalOp {
     Delete { table: String, predicate: Option<String> },
 }
 
-/// A committed statement frame read back during recovery.
+/// A committed transaction frame read back during recovery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalFrame {
-    /// Monotonic statement sequence number the frame committed under.
-    pub seq: u64,
-    /// The statement's logical operations, in apply order.
+    /// Transaction id the frame was logged under (allocation order — not
+    /// commit order when sessions interleave).
+    pub txn: u64,
+    /// Monotonic commit sequence number: the order frames became durable,
+    /// and what a checkpoint covers.
+    pub commit_seq: u64,
+    /// The transaction's logical operations, in apply order.
     pub ops: Vec<WalOp>,
 }
 
@@ -256,15 +279,18 @@ fn decode_columns(buf: &mut Bytes) -> Result<Vec<(String, DataType)>> {
     Ok(columns)
 }
 
-/// Decode a record payload. `Ok(None)` for frame-control records
-/// (`Begin`/`Commit`), which the replay loop handles by tag directly.
-fn decode_op(payload: &mut Bytes) -> Result<WalOp> {
-    match get_u8(payload)? {
-        TAG_CREATE => Ok(WalOp::CreateTable {
+/// Decode an op record payload: `[tag][u64 txn][body]`. Frame-control
+/// records (`Begin`/`Commit`/`Abort`/`RollbackSp`) are handled by tag
+/// directly in the replay loop and never reach this function.
+fn decode_op(payload: &mut Bytes) -> Result<(u64, WalOp)> {
+    let tag = get_u8(payload)?;
+    let txn = get_u64(payload)?;
+    let op = match tag {
+        TAG_CREATE => WalOp::CreateTable {
             name: get_string(payload)?,
             columns: decode_columns(payload)?,
-        }),
-        TAG_DROP => Ok(WalOp::DropTable { name: get_string(payload)? }),
+        },
+        TAG_DROP => WalOp::DropTable { name: get_string(payload)? },
         TAG_INSERT => {
             let table = get_string(payload)?;
             let nrows = get_u32(payload)? as usize;
@@ -272,7 +298,7 @@ fn decode_op(payload: &mut Bytes) -> Result<WalOp> {
             for _ in 0..nrows {
                 rows.push(decode_row(payload)?);
             }
-            Ok(WalOp::Insert { table, rows })
+            WalOp::Insert { table, rows }
         }
         TAG_DELETE => {
             let table = get_string(payload)?;
@@ -280,10 +306,11 @@ fn decode_op(payload: &mut Bytes) -> Result<WalOp> {
                 0 => None,
                 _ => Some(get_string(payload)?),
             };
-            Ok(WalOp::Delete { table, predicate })
+            WalOp::Delete { table, predicate }
         }
-        t => Err(Error::Io(format!("bad log record tag {t}"))),
-    }
+        t => return Err(Error::Io(format!("bad log record tag {t}"))),
+    };
+    Ok((txn, op))
 }
 
 // ---------------------------------------------------------------------------
@@ -299,17 +326,27 @@ struct Wal {
     len: u64,
     /// End offset of the last committed frame; repairs truncate here.
     good_end: u64,
+    /// `Some(txn)` when every byte past `good_end` belongs to that one
+    /// transaction. Its rollback (full or to a savepoint) can then be a
+    /// plain truncate — zero WAL residue — instead of an `Abort` /
+    /// `RollbackSp` record.
+    tail_owner: Option<u64>,
     /// Set when a repair itself failed: the on-disk tail is unknown, so all
     /// further appends are refused until a checkpoint resets the log.
     poisoned: bool,
+    /// Bumped on every crash-repair truncation. An open transaction whose
+    /// records may have been cut records the epoch at `BEGIN` and aborts
+    /// when it no longer matches.
+    repair_epoch: u64,
 }
 
 /// Everything recovered from a database directory at open.
 #[derive(Debug, Default)]
 pub struct Recovered {
-    /// Statement sequence the checkpoint covers, with its table images.
+    /// Commit sequence the checkpoint covers, with its table images.
     pub checkpoint: Option<(u64, Vec<CkptTable>)>,
-    /// Committed WAL frames with `seq` beyond the checkpoint, in order.
+    /// Committed WAL frames with `commit_seq` beyond the checkpoint, in
+    /// commit order.
     pub frames: Vec<WalFrame>,
 }
 
@@ -324,7 +361,7 @@ pub struct CkptTable {
     pub rows: Vec<Row>,
 }
 
-/// The durable half of a database: WAL appends, statement framing,
+/// The durable half of a database: WAL appends, transaction framing,
 /// checkpoint publication, and recovery. Owned by
 /// [`Database`](crate::db::Database) when opened with a path.
 #[derive(Debug)]
@@ -333,13 +370,34 @@ pub struct DurableStore {
     wal: Wal,
     policy: FsyncPolicy,
     injector: Arc<FaultInjector>,
-    /// Sequence number the next statement frame will carry.
-    next_seq: u64,
-    /// Sequence of the last committed frame (what a checkpoint covers).
+    /// Transaction id the next frame will carry. Advanced past every id
+    /// *seen* in the log at open — committed, aborted, or in-flight — so a
+    /// dead frame's records can never merge with a new frame's.
+    next_txn: u64,
+    /// Commit sequence number the next `Commit` record will carry.
+    next_commit: u64,
+    /// Commit sequence of the last committed frame (what a checkpoint
+    /// covers).
     last_committed: u64,
     /// Auto-checkpoint once the WAL grows past this many bytes
     /// (0 = never).
     pub checkpoint_every_bytes: u64,
+}
+
+/// One table's contribution to a checkpoint image: name, schema, and an
+/// O(1) COW snapshot of its chunks. Built by the database from either the
+/// live catalog or — while a transaction holds uncommitted changes — the
+/// committed state captured in the transaction's undo stack.
+#[derive(Debug)]
+pub struct CkptSource {
+    /// Declared table name (original casing).
+    pub name: String,
+    /// Declared columns in schema order.
+    pub columns: Vec<(String, DataType)>,
+    /// Row count of the snapshot.
+    pub rows: usize,
+    /// Chunk snapshot to serialize.
+    pub snapshot: TableSnapshot,
 }
 
 /// Default WAL size that triggers an automatic checkpoint.
@@ -370,28 +428,30 @@ impl DurableStore {
                 .read(true)
                 .write(true)
                 .open(&wal_path)?;
-        let (frames, committed_end, max_seq) = replay_committed(&mut file, ckpt_seq)?;
+        let scan = replay_committed(&mut file, ckpt_seq)?;
         // Discard the torn/uncommitted tail so appends start at a clean
         // boundary. (A plain open never injects: schedules arm later.)
-        file.set_len(committed_end)?;
-        file.seek(SeekFrom::Start(committed_end))?;
+        file.set_len(scan.committed_end)?;
+        file.seek(SeekFrom::Start(scan.committed_end))?;
 
-        let next_seq = max_seq.max(ckpt_seq) + 1;
         let store = DurableStore {
             dir: dir.to_path_buf(),
             wal: Wal {
                 file,
-                len: committed_end,
-                good_end: committed_end,
+                len: scan.committed_end,
+                good_end: scan.committed_end,
+                tail_owner: None,
                 poisoned: false,
+                repair_epoch: 0,
             },
             policy,
             injector,
-            next_seq,
-            last_committed: max_seq.max(ckpt_seq),
+            next_txn: scan.max_txn.max(ckpt_seq) + 1,
+            next_commit: scan.max_commit.max(ckpt_seq) + 1,
+            last_committed: scan.max_commit.max(ckpt_seq),
             checkpoint_every_bytes: DEFAULT_CHECKPOINT_BYTES,
         };
-        Ok((store, Recovered { checkpoint, frames }))
+        Ok((store, Recovered { checkpoint, frames: scan.frames }))
     }
 
     /// Database directory this store persists to.
@@ -420,7 +480,20 @@ impl DurableStore {
         self.checkpoint_every_bytes > 0 && self.wal.len > self.checkpoint_every_bytes
     }
 
-    fn append_record(&mut self, payload: &[u8]) -> Result<()> {
+    /// Whether a failed truncate-repair left the log refusing appends.
+    /// A full (non-keep-tail) checkpoint resets the log and clears this.
+    pub fn is_poisoned(&self) -> bool {
+        self.wal.poisoned
+    }
+
+    /// Monotonic count of crash-repair truncations. A transaction records
+    /// this at `BEGIN`; a mismatch later means some of its records may have
+    /// been cut and the transaction must abort.
+    pub fn repair_epoch(&self) -> u64 {
+        self.wal.repair_epoch
+    }
+
+    fn append_record(&mut self, payload: &[u8], owner: Option<u64>) -> Result<()> {
         if self.wal.poisoned {
             return Err(Error::Io(
                 "write-ahead log poisoned by an earlier failed repair; \
@@ -432,9 +505,17 @@ impl DurableStore {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        let len_before = self.wal.len;
         match self.injector.write_all(FaultSite::WalAppend, &mut self.wal.file, &frame) {
             Ok(()) => {
                 self.wal.len += frame.len() as u64;
+                if let Some(txn) = owner {
+                    if len_before == self.wal.good_end {
+                        self.wal.tail_owner = Some(txn);
+                    } else if self.wal.tail_owner != Some(txn) {
+                        self.wal.tail_owner = None;
+                    }
+                }
                 if self.policy == FsyncPolicy::Always {
                     if let Err(e) =
                         self.injector.fsync(FaultSite::WalFsync, &self.wal.file)
@@ -456,68 +537,95 @@ impl DurableStore {
         }
     }
 
-    /// Truncate the log back to the last committed frame boundary. On
-    /// failure the log is poisoned (appends refused) until a checkpoint
-    /// resets it — recovery tolerates the garbage tail either way via
-    /// checksums and commit framing.
-    fn repair(&mut self) {
+    /// Planned truncation to a known-good boundary (rolling a frame or a
+    /// savepoint's ops off an exclusively-owned tail). Unlike [`repair`],
+    /// this does not bump the repair epoch: no other transaction's bytes
+    /// can be affected. Poisons the log on failure.
+    ///
+    /// [`repair`]: DurableStore::repair
+    fn truncate_tail(&mut self, to: u64) -> bool {
         let ok = self.injector.check(FaultSite::WalTruncate).is_ok()
-            && self.wal.file.set_len(self.wal.good_end).is_ok()
-            && self.wal.file.seek(SeekFrom::Start(self.wal.good_end)).is_ok();
+            && self.wal.file.set_len(to).is_ok()
+            && self.wal.file.seek(SeekFrom::Start(to)).is_ok();
         if ok {
-            self.wal.len = self.wal.good_end;
+            self.wal.len = to;
         } else {
             self.wal.poisoned = true;
         }
+        ok
     }
 
-    /// Start a statement frame; returns its sequence number. The frame
-    /// holds no locks and buffers nothing — records land in the file as
-    /// they are logged, and only `commit` makes them recoverable.
+    /// Truncate the log back to the last committed frame boundary after a
+    /// failed append: the tail's on-disk content is unknown, so every open
+    /// transaction with bytes at risk is invalidated via the repair epoch.
+    /// On failure the log is poisoned (appends refused) until a checkpoint
+    /// resets it — recovery tolerates the garbage tail either way via
+    /// checksums and commit framing.
+    fn repair(&mut self) {
+        self.wal.repair_epoch += 1;
+        self.truncate_tail(self.wal.good_end);
+        self.wal.tail_owner = None;
+    }
+
+    /// Start a transaction frame; returns its id and writes the `Begin`
+    /// record. The frame holds no locks and buffers nothing — records land
+    /// in the file as they are logged, and only `commit` makes them
+    /// recoverable. The id is consumed even if the append fails, so a
+    /// retried frame can never collide with a half-written one.
     pub fn begin(&mut self) -> Result<u64> {
-        let seq = self.next_seq;
+        let txn = self.next_txn;
+        self.next_txn += 1;
         let mut buf = BytesMut::with_capacity(9);
         buf.put_u8(TAG_BEGIN);
-        buf.put_u64_le(seq);
-        self.append_record(&buf)?;
-        Ok(seq)
+        buf.put_u64_le(txn);
+        self.append_record(&buf, Some(txn))?;
+        Ok(txn)
     }
 
-    /// Log a `CREATE TABLE` inside the open frame.
-    pub fn log_create(&mut self, name: &str, columns: &[(String, DataType)]) -> Result<()> {
+    /// Log a `CREATE TABLE` inside transaction `txn`.
+    pub fn log_create(
+        &mut self,
+        txn: u64,
+        name: &str,
+        columns: &[(String, DataType)],
+    ) -> Result<()> {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_CREATE);
+        buf.put_u64_le(txn);
         put_string(&mut buf, name);
         encode_columns(&mut buf, columns);
-        self.append_record(&buf)
+        self.append_record(&buf, Some(txn))
     }
 
-    /// Log a `DROP TABLE` inside the open frame.
-    pub fn log_drop(&mut self, name: &str) -> Result<()> {
+    /// Log a `DROP TABLE` inside transaction `txn`.
+    pub fn log_drop(&mut self, txn: u64, name: &str) -> Result<()> {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_DROP);
+        buf.put_u64_le(txn);
         put_string(&mut buf, name);
-        self.append_record(&buf)
+        self.append_record(&buf, Some(txn))
     }
 
-    /// Log an `INSERT` of already-evaluated rows inside the open frame.
+    /// Log an `INSERT` of already-evaluated rows inside transaction `txn`.
     /// Rows are borrowed: logging copies them into the record buffer but
     /// never clones the caller's vector.
-    pub fn log_insert(&mut self, table: &str, rows: &[Row]) -> Result<()> {
+    pub fn log_insert(&mut self, txn: u64, table: &str, rows: &[Row]) -> Result<()> {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_INSERT);
+        buf.put_u64_le(txn);
         put_string(&mut buf, table);
         buf.put_u32_le(rows.len() as u32);
         for row in rows {
             encode_row(&mut buf, row);
         }
-        self.append_record(&buf)
+        self.append_record(&buf, Some(txn))
     }
 
-    /// Log a `DELETE` inside the open frame (predicate as SQL text).
-    pub fn log_delete(&mut self, table: &str, predicate: Option<&str>) -> Result<()> {
+    /// Log a `DELETE` inside transaction `txn` (predicate as SQL text).
+    pub fn log_delete(&mut self, txn: u64, table: &str, predicate: Option<&str>) -> Result<()> {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_DELETE);
+        buf.put_u64_le(txn);
         put_string(&mut buf, table);
         match predicate {
             None => buf.put_u8(0),
@@ -526,18 +634,22 @@ impl DurableStore {
                 put_string(&mut buf, p);
             }
         }
-        self.append_record(&buf)
+        self.append_record(&buf, Some(txn))
     }
 
-    /// Commit the open frame: append the `Commit` record, force it down
-    /// per the fsync policy, and advance the committed boundary. After
-    /// `Ok`, the statement survives a crash; on `Err` the frame is rolled
-    /// off the log and the caller must undo its in-memory effects.
-    pub fn commit(&mut self, seq: u64) -> Result<()> {
-        let mut buf = BytesMut::with_capacity(9);
+    /// Commit transaction `txn`: append the `Commit` record carrying the
+    /// next commit sequence, force it down per the fsync policy, and
+    /// advance the committed boundary. After `Ok`, the transaction survives
+    /// a crash; on `Err` the frame is rolled off the log (or left
+    /// uncommitted, which recovery treats identically) and the caller must
+    /// undo its in-memory effects.
+    pub fn commit(&mut self, txn: u64) -> Result<u64> {
+        let commit_seq = self.next_commit;
+        let mut buf = BytesMut::with_capacity(17);
         buf.put_u8(TAG_COMMIT);
-        buf.put_u64_le(seq);
-        self.append_record(&buf)?;
+        buf.put_u64_le(txn);
+        buf.put_u64_le(commit_seq);
+        self.append_record(&buf, None)?;
         if self.policy != FsyncPolicy::Off {
             if let Err(e) = self.injector.fsync(FaultSite::WalFsync, &self.wal.file) {
                 // Unknown durability of the frame: discard it so the
@@ -547,28 +659,74 @@ impl DurableStore {
             }
         }
         self.wal.good_end = self.wal.len;
-        self.last_committed = seq;
-        self.next_seq = seq + 1;
-        Ok(())
+        self.wal.tail_owner = None;
+        self.last_committed = commit_seq;
+        self.next_commit = commit_seq + 1;
+        Ok(commit_seq)
     }
 
-    /// Abandon the open frame after an in-memory apply error: best-effort
-    /// truncate back to the committed boundary. Even if the truncate fails,
-    /// recovery ignores the frame (no `Commit` record), so this never
-    /// errors.
-    pub fn abort(&mut self) {
-        self.repair();
+    /// Abandon transaction `txn`'s frame. If the frame owns the whole
+    /// uncommitted tail it is truncated off — zero residue; otherwise an
+    /// `Abort` record is appended so replay drops the interleaved frame.
+    /// Even if both fail, recovery ignores the frame (no `Commit` record),
+    /// so this never errors.
+    pub fn abort(&mut self, txn: u64) {
+        if self.wal.poisoned {
+            return;
+        }
+        if self.wal.tail_owner == Some(txn) {
+            self.truncate_tail(self.wal.good_end);
+            self.wal.tail_owner = None;
+            return;
+        }
+        let mut buf = BytesMut::with_capacity(9);
+        buf.put_u8(TAG_ABORT);
+        buf.put_u64_le(txn);
+        let _ = self.append_record(&buf, None);
     }
 
-    /// Write a checkpoint covering every committed statement, publish it
-    /// atomically, and truncate the WAL behind it. `tables` must be the
-    /// live catalog state (sorted iteration keeps the image
-    /// deterministic). On error the durable state is unchanged — the tmp
+    /// Roll transaction `txn` back to a savepoint: discard its last
+    /// `drop_last` logged ops. When the frame owns the whole uncommitted
+    /// tail this truncates the file to `to_len` (the length recorded when
+    /// the savepoint was set); otherwise a `RollbackSp` record is appended
+    /// for replay to honor.
+    pub fn rollback_ops(&mut self, txn: u64, drop_last: u64, to_len: u64) -> Result<()> {
+        if drop_last == 0 {
+            return Ok(());
+        }
+        // `to_len <= len` guards against stale geometry (a repair shrank
+        // the log after the savepoint was set): `set_len` past the end
+        // would extend the file with a zero hole that stops replay dead.
+        if self.wal.tail_owner == Some(txn)
+            && to_len >= self.wal.good_end
+            && to_len <= self.wal.len
+        {
+            if self.truncate_tail(to_len) {
+                return Ok(());
+            }
+            return Err(Error::Io(
+                "write-ahead log truncation failed during savepoint rollback".into(),
+            ));
+        }
+        let mut buf = BytesMut::with_capacity(17);
+        buf.put_u8(TAG_RBSP);
+        buf.put_u64_le(txn);
+        buf.put_u64_le(drop_last);
+        self.append_record(&buf, Some(txn))
+    }
+
+    /// Write a checkpoint covering every committed transaction, publish it
+    /// atomically, and — unless `keep_wal` — truncate the WAL behind it.
+    /// `sources` must be the *committed* state in sorted-name order (the
+    /// live catalog between transactions; the undo-stack views while one is
+    /// open). `keep_wal` leaves the log intact so in-flight frames stay
+    /// replayable: replay skips frames the image already covers by
+    /// `commit_seq`. On error the durable state is unchanged — the tmp
     /// image is removed and the WAL still covers everything.
-    pub fn checkpoint(&mut self, tables: &[&Table]) -> Result<()> {
+    pub fn checkpoint(&mut self, sources: &[CkptSource], keep_wal: bool) -> Result<()> {
         let seq = self.last_committed;
         let tmp = self.dir.join(CHECKPOINT_TMP);
-        let result = self.write_checkpoint_tmp(&tmp, seq, tables);
+        let result = self.write_checkpoint_tmp(&tmp, seq, sources);
         if let Err(e) = result {
             let _ = fs::remove_file(&tmp);
             return Err(e);
@@ -581,14 +739,19 @@ impl DurableStore {
             let dirf = File::open(&self.dir)?;
             self.injector.fsync(FaultSite::CheckpointFsync, &dirf)?;
         }
+        if keep_wal {
+            return Ok(());
+        }
         // The WAL's frames are all covered by the image now. A failure
-        // here is benign (replay skips frames with seq ≤ checkpoint seq),
-        // but surfaces as an error so operators see the log not shrinking.
+        // here is benign (replay skips frames with commit_seq ≤ checkpoint
+        // seq), but surfaces as an error so operators see the log not
+        // shrinking.
         self.injector.check(FaultSite::WalTruncate)?;
         self.wal.file.set_len(0)?;
         self.wal.file.seek(SeekFrom::Start(0))?;
         self.wal.len = 0;
         self.wal.good_end = 0;
+        self.wal.tail_owner = None;
         self.wal.poisoned = false;
         Ok(())
     }
@@ -597,7 +760,7 @@ impl DurableStore {
         &mut self,
         tmp: &Path,
         seq: u64,
-        tables: &[&Table],
+        sources: &[CkptSource],
     ) -> Result<()> {
         let mut file =
             OpenOptions::new().create(true).write(true).truncate(true).open(tmp)?;
@@ -610,20 +773,19 @@ impl DurableStore {
         self.injector.write_all(FaultSite::CheckpointWrite, &mut file, CHECKPOINT_MAGIC)?;
         let mut head = BytesMut::new();
         head.put_u64_le(seq);
-        head.put_u32_le(tables.len() as u32);
+        head.put_u32_le(sources.len() as u32);
         write(&mut file, &mut crc, &head)?;
 
         let mut buf = BytesMut::new();
-        for table in tables {
+        for source in sources {
             buf.clear();
-            put_string(&mut buf, table.name());
-            encode_columns(&mut buf, table.columns());
-            buf.put_u64_le(table.row_count() as u64);
+            put_string(&mut buf, &source.name);
+            encode_columns(&mut buf, &source.columns);
+            buf.put_u64_le(source.rows as u64);
             write(&mut file, &mut crc, &buf)?;
             // Walk the O(1) Arc snapshot chunk by chunk: serialization
             // streams without materializing the table as rows.
-            let snapshot = table.snapshot();
-            for chunk in snapshot.chunks() {
+            for chunk in source.snapshot.chunks() {
                 buf.clear();
                 for i in 0..chunk.rows() {
                     encode_row(&mut buf, &chunk.row(i));
@@ -674,24 +836,38 @@ fn read_checkpoint(path: &Path) -> Result<Option<(u64, Vec<CkptTable>)>> {
     Ok(Some((seq, tables)))
 }
 
-/// Scan the WAL, returning the committed frames with `seq > ckpt_seq`, the
-/// byte offset just past the last committed frame, and the highest
-/// committed `seq` seen. Stops — without error — at the first torn or
-/// corrupted record: everything past the last `Commit` is a casualty of
-/// the crash, by design.
-fn replay_committed(
-    file: &mut File,
-    ckpt_seq: u64,
-) -> Result<(Vec<WalFrame>, u64, u64)> {
+/// Result of scanning the WAL at open.
+struct WalScan {
+    /// Committed frames with `commit_seq > ckpt_seq`, in commit order.
+    frames: Vec<WalFrame>,
+    /// Byte offset just past the last `Commit` record.
+    committed_end: u64,
+    /// Highest transaction id seen *anywhere* in the scanned prefix —
+    /// committed, aborted, or in-flight. New ids must start above this so
+    /// a dead frame's records can never merge with a live frame's.
+    max_txn: u64,
+    /// Highest commit sequence seen.
+    max_commit: u64,
+}
+
+/// Scan the WAL. Pending frames are keyed by transaction id, so frames
+/// from concurrent sessions may interleave arbitrarily; only a `Commit`
+/// record makes a frame visible, in commit-record order. Stops — without
+/// error — at the first torn or corrupted record: everything past the
+/// last `Commit` is a casualty of the crash, by design.
+fn replay_committed(file: &mut File, ckpt_seq: u64) -> Result<WalScan> {
     let mut data = Vec::new();
     file.seek(SeekFrom::Start(0))?;
     file.read_to_end(&mut data)?;
 
-    let mut frames = Vec::new();
-    let mut pending: Option<WalFrame> = None;
+    let mut scan = WalScan {
+        frames: Vec::new(),
+        committed_end: 0,
+        max_txn: 0,
+        max_commit: 0,
+    };
+    let mut pending: HashMap<u64, Vec<WalOp>> = HashMap::new();
     let mut offset = 0usize;
-    let mut committed_end = 0u64;
-    let mut max_seq = 0u64;
 
     while data.len() - offset >= 8 {
         let len =
@@ -712,28 +888,45 @@ fn replay_committed(
         let Ok(tag) = get_u8(&mut bytes) else { break };
         match tag {
             TAG_BEGIN => {
-                let Ok(seq) = get_u64(&mut bytes) else { break };
-                // A Begin while a frame is pending means the previous frame
-                // never committed (crash mid-statement): drop it.
-                pending = Some(WalFrame { seq, ops: Vec::new() });
+                let Ok(txn) = get_u64(&mut bytes) else { break };
+                scan.max_txn = scan.max_txn.max(txn);
+                // A Begin reusing a pending id cannot happen in a healthy
+                // log (ids are never reused); if it does, the older frame
+                // never committed, so dropping it is safe.
+                pending.insert(txn, Vec::new());
             }
             TAG_COMMIT => {
-                let Ok(seq) = get_u64(&mut bytes) else { break };
-                if let Some(frame) = pending.take() {
-                    if frame.seq == seq {
-                        max_seq = max_seq.max(seq);
-                        committed_end = end as u64;
-                        if seq > ckpt_seq {
-                            frames.push(frame);
-                        }
+                let Ok(txn) = get_u64(&mut bytes) else { break };
+                let Ok(commit_seq) = get_u64(&mut bytes) else { break };
+                scan.max_txn = scan.max_txn.max(txn);
+                if let Some(ops) = pending.remove(&txn) {
+                    scan.max_commit = scan.max_commit.max(commit_seq);
+                    scan.committed_end = end as u64;
+                    if commit_seq > ckpt_seq {
+                        scan.frames.push(WalFrame { txn, commit_seq, ops });
                     }
+                }
+            }
+            TAG_ABORT => {
+                let Ok(txn) = get_u64(&mut bytes) else { break };
+                scan.max_txn = scan.max_txn.max(txn);
+                pending.remove(&txn);
+            }
+            TAG_RBSP => {
+                let Ok(txn) = get_u64(&mut bytes) else { break };
+                let Ok(drop_last) = get_u64(&mut bytes) else { break };
+                scan.max_txn = scan.max_txn.max(txn);
+                if let Some(ops) = pending.get_mut(&txn) {
+                    let keep = ops.len().saturating_sub(drop_last as usize);
+                    ops.truncate(keep);
                 }
             }
             _ => {
                 let mut full = Bytes::from(payload.to_vec());
-                let Ok(op) = decode_op(&mut full) else { break };
-                if let Some(frame) = pending.as_mut() {
-                    frame.ops.push(op);
+                let Ok((txn, op)) = decode_op(&mut full) else { break };
+                scan.max_txn = scan.max_txn.max(txn);
+                if let Some(ops) = pending.get_mut(&txn) {
+                    ops.push(op);
                 }
                 // An op outside any frame is tolerated and ignored — it can
                 // only arise from a repair that half-succeeded.
@@ -741,14 +934,24 @@ fn replay_committed(
         }
         offset = end;
     }
-    Ok((frames, committed_end, max_seq))
+    Ok(scan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::storage::budget::MemoryBudget;
+    use crate::table::Table;
     use crate::value::Value;
+
+    fn source(t: &Table) -> CkptSource {
+        CkptSource {
+            name: t.name().to_string(),
+            columns: t.columns().to_vec(),
+            rows: t.row_count(),
+            snapshot: t.snapshot(),
+        }
+    }
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -776,18 +979,19 @@ mod tests {
         {
             let (mut store, rec) = open(&dir);
             assert!(rec.frames.is_empty() && rec.checkpoint.is_none());
-            let seq = store.begin().unwrap();
+            let txn = store.begin().unwrap();
             store
-                .log_create("t", &[("a".into(), DataType::Integer)])
+                .log_create(txn, "t", &[("a".into(), DataType::Integer)])
                 .unwrap();
-            store.commit(seq).unwrap();
-            let seq = store.begin().unwrap();
-            store.log_insert("t", &[vec![Value::Int(7)]]).unwrap();
-            store.commit(seq).unwrap();
+            store.commit(txn).unwrap();
+            let txn = store.begin().unwrap();
+            store.log_insert(txn, "t", &[vec![Value::Int(7)]]).unwrap();
+            store.commit(txn).unwrap();
         }
         let (_, rec) = open(&dir);
         assert_eq!(rec.frames.len(), 2);
-        assert_eq!(rec.frames[0].seq, 1);
+        assert_eq!(rec.frames[0].commit_seq, 1);
+        assert_eq!(rec.frames[1].commit_seq, 2);
         assert!(matches!(&rec.frames[0].ops[0], WalOp::CreateTable { name, .. } if name == "t"));
         assert!(matches!(
             &rec.frames[1].ops[0],
@@ -801,12 +1005,12 @@ mod tests {
         let dir = tmpdir("uncommitted");
         {
             let (mut store, _) = open(&dir);
-            let seq = store.begin().unwrap();
-            store.log_drop("t").unwrap();
-            store.commit(seq).unwrap();
-            // Frame without a commit: simulates a crash mid-statement.
-            store.begin().unwrap();
-            store.log_drop("u").unwrap();
+            let txn = store.begin().unwrap();
+            store.log_drop(txn, "t").unwrap();
+            store.commit(txn).unwrap();
+            // Frame without a commit: simulates a crash mid-transaction.
+            let txn = store.begin().unwrap();
+            store.log_drop(txn, "u").unwrap();
         }
         let (store, rec) = open(&dir);
         assert_eq!(rec.frames.len(), 1);
@@ -817,14 +1021,109 @@ mod tests {
     }
 
     #[test]
+    fn aborted_frame_leaves_no_wal_residue_when_tail_owned() {
+        let dir = tmpdir("abort-trunc");
+        let (mut store, _) = open(&dir);
+        let txn = store.begin().unwrap();
+        store.log_drop(txn, "t").unwrap();
+        store.commit(txn).unwrap();
+        let committed_len = store.wal_len();
+        // This frame owns the whole tail: abort must truncate it away.
+        let txn = store.begin().unwrap();
+        store.log_insert(txn, "t", &[vec![Value::Int(1)]]).unwrap();
+        store.abort(txn);
+        assert_eq!(store.wal_len(), committed_len);
+        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), committed_len);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interleaved_frames_commit_independently() {
+        let dir = tmpdir("interleave");
+        {
+            let (mut store, _) = open(&dir);
+            let a = store.begin().unwrap();
+            let b = store.begin().unwrap();
+            store.log_insert(a, "t", &[vec![Value::Int(1)]]).unwrap();
+            store.log_insert(b, "t", &[vec![Value::Int(2)]]).unwrap();
+            // b commits first, then a: replay must order by commit, not id.
+            store.commit(b).unwrap();
+            store.log_insert(a, "t", &[vec![Value::Int(3)]]).unwrap();
+            store.commit(a).unwrap();
+            // c aborts with an Abort record (tail is shared with nothing,
+            // but good_end == len after a's commit, so force interleaving):
+            let c = store.begin().unwrap();
+            let d = store.begin().unwrap();
+            store.log_insert(c, "t", &[vec![Value::Int(4)]]).unwrap();
+            store.abort(c); // mixed tail (d's Begin) -> Abort record
+            store.log_insert(d, "t", &[vec![Value::Int(5)]]).unwrap();
+            store.commit(d).unwrap();
+        }
+        let (store, rec) = open(&dir);
+        assert_eq!(rec.frames.len(), 3);
+        assert_eq!(rec.frames[0].txn, 2); // b
+        assert_eq!(rec.frames[1].txn, 1); // a, two ops
+        assert_eq!(rec.frames[1].ops.len(), 2);
+        assert_eq!(rec.frames[2].txn, 4); // d; c's frame dropped
+        assert!(rec.frames.iter().all(|f| f.txn != 3));
+        // Fresh ids start above every id seen, even aborted ones.
+        assert!(store.next_txn > 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_to_savepoint_drops_tail_ops() {
+        let dir = tmpdir("rbsp");
+        {
+            let (mut store, _) = open(&dir);
+            let txn = store.begin().unwrap();
+            store.log_insert(txn, "t", &[vec![Value::Int(1)]]).unwrap();
+            let sp_len = store.wal_len();
+            store.log_insert(txn, "t", &[vec![Value::Int(2)]]).unwrap();
+            store.log_insert(txn, "t", &[vec![Value::Int(3)]]).unwrap();
+            // Tail-owned: rollback truncates the file back to the mark.
+            store.rollback_ops(txn, 2, sp_len).unwrap();
+            assert_eq!(store.wal_len(), sp_len);
+            store.log_insert(txn, "t", &[vec![Value::Int(9)]]).unwrap();
+            store.commit(txn).unwrap();
+
+            // Interleaved: rollback must append a RollbackSp record.
+            let a = store.begin().unwrap();
+            let b = store.begin().unwrap();
+            store.log_insert(a, "t", &[vec![Value::Int(10)]]).unwrap();
+            let a_mark = store.wal_len();
+            store.log_insert(a, "t", &[vec![Value::Int(11)]]).unwrap();
+            let before = store.wal_len();
+            store.rollback_ops(a, 1, a_mark).unwrap();
+            assert!(store.wal_len() > before, "interleaved rollback appends");
+            store.commit(a).unwrap();
+            store.abort(b);
+        }
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.frames.len(), 2);
+        assert_eq!(
+            rec.frames[0].ops,
+            vec![
+                WalOp::Insert { table: "t".into(), rows: vec![vec![Value::Int(1)]] },
+                WalOp::Insert { table: "t".into(), rows: vec![vec![Value::Int(9)]] },
+            ]
+        );
+        assert_eq!(
+            rec.frames[1].ops,
+            vec![WalOp::Insert { table: "t".into(), rows: vec![vec![Value::Int(10)]] }]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn torn_tail_and_corruption_stop_replay_cleanly() {
         let dir = tmpdir("torn");
         {
             let (mut store, _) = open(&dir);
             for i in 0..3 {
-                let seq = store.begin().unwrap();
-                store.log_insert("t", &[vec![Value::Int(i)]]).unwrap();
-                store.commit(seq).unwrap();
+                let txn = store.begin().unwrap();
+                store.log_insert(txn, "t", &[vec![Value::Int(i)]]).unwrap();
+                store.commit(txn).unwrap();
             }
         }
         let wal = dir.join(WAL_FILE);
@@ -836,7 +1135,7 @@ mod tests {
             let (_, rec) = open(&dir);
             assert!(rec.frames.len() <= 3);
             for (i, f) in rec.frames.iter().enumerate() {
-                assert_eq!(f.seq, i as u64 + 1);
+                assert_eq!(f.commit_seq, i as u64 + 1);
             }
         }
         // Flip a byte mid-file: replay stops at the corruption.
@@ -855,11 +1154,11 @@ mod tests {
         let budget = MemoryBudget::unlimited();
         {
             let (mut store, _) = open(&dir);
-            let seq = store.begin().unwrap();
+            let txn = store.begin().unwrap();
             store
-                .log_create("t", &[("a".into(), DataType::Integer)])
+                .log_create(txn, "t", &[("a".into(), DataType::Integer)])
                 .unwrap();
-            store.commit(seq).unwrap();
+            store.commit(txn).unwrap();
 
             let mut t = Table::new(
                 "t",
@@ -867,13 +1166,13 @@ mod tests {
                 budget.clone(),
             );
             t.insert_rows(vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
-            store.checkpoint(&[&t]).unwrap();
+            store.checkpoint(&[source(&t)], false).unwrap();
             assert_eq!(store.wal_len(), 0);
 
             // One more statement after the checkpoint.
-            let seq = store.begin().unwrap();
-            store.log_insert("t", &[vec![Value::Int(3)]]).unwrap();
-            store.commit(seq).unwrap();
+            let txn = store.begin().unwrap();
+            store.log_insert(txn, "t", &[vec![Value::Int(3)]]).unwrap();
+            store.commit(txn).unwrap();
         }
         let (_, rec) = open(&dir);
         let (seq, tables) = rec.checkpoint.expect("checkpoint written");
@@ -882,7 +1181,49 @@ mod tests {
         assert_eq!(tables[0].rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         // Only the post-checkpoint frame replays.
         assert_eq!(rec.frames.len(), 1);
-        assert_eq!(rec.frames[0].seq, 2);
+        assert_eq!(rec.frames[0].commit_seq, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_wal_checkpoint_leaves_inflight_frames_replayable() {
+        let dir = tmpdir("keepwal");
+        {
+            let (mut store, _) = open(&dir);
+            let txn = store.begin().unwrap();
+            store
+                .log_create(txn, "t", &[("a".into(), DataType::Integer)])
+                .unwrap();
+            store.commit(txn).unwrap();
+
+            // An open transaction has logged ops when the checkpoint runs.
+            let open_txn = store.begin().unwrap();
+            store.log_insert(open_txn, "t", &[vec![Value::Int(7)]]).unwrap();
+
+            let mut t = Table::new(
+                "t",
+                vec![("a".into(), DataType::Integer)],
+                MemoryBudget::unlimited(),
+            );
+            t.insert_rows(vec![vec![Value::Int(1)]]).unwrap();
+            let len_before = store.wal_len();
+            store.checkpoint(&[source(&t)], true).unwrap();
+            // keep_wal: the log was not truncated.
+            assert_eq!(store.wal_len(), len_before);
+
+            store.commit(open_txn).unwrap();
+        }
+        let (_, rec) = open(&dir);
+        let (seq, tables) = rec.checkpoint.expect("checkpoint written");
+        assert_eq!(seq, 1);
+        assert_eq!(tables[0].rows, vec![vec![Value::Int(1)]]);
+        // The open transaction committed after the checkpoint: its frame
+        // must replay on top of the image.
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(
+            rec.frames[0].ops,
+            vec![WalOp::Insert { table: "t".into(), rows: vec![vec![Value::Int(7)]] }]
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -896,10 +1237,10 @@ mod tests {
                 vec![("a".into(), DataType::Integer)],
                 MemoryBudget::unlimited(),
             );
-            let seq = store.begin().unwrap();
-            store.log_create("t", &[("a".into(), DataType::Integer)]).unwrap();
-            store.commit(seq).unwrap();
-            store.checkpoint(&[&t]).unwrap();
+            let txn = store.begin().unwrap();
+            store.log_create(txn, "t", &[("a".into(), DataType::Integer)]).unwrap();
+            store.commit(txn).unwrap();
+            store.checkpoint(&[source(&t)], false).unwrap();
         }
         let path = dir.join(CHECKPOINT_FILE);
         let mut img = fs::read(&path).unwrap();

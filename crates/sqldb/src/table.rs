@@ -142,6 +142,20 @@ pub(crate) struct TableUndo {
     bytes: usize,
 }
 
+impl TableUndo {
+    /// The captured (pre-mutation) state as a snapshot. While a transaction
+    /// holds uncommitted changes, a checkpoint serializes this committed
+    /// view instead of the live table.
+    pub(crate) fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot { chunks: Arc::clone(&self.chunks), rows: self.rows }
+    }
+
+    /// Row count of the captured state.
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
 /// A base table: declared columns plus chunked columnar row storage.
 #[derive(Debug)]
 pub struct Table {
